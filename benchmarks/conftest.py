@@ -1,0 +1,181 @@
+"""Shared benchmark fixtures: workloads, endpoints, result tables.
+
+Every benchmark records the paper-facing numbers into a session-wide
+collector; :func:`pytest_terminal_summary` prints each experiment's
+table in the paper's layout after the run.  Document sizes follow the
+paper's 2.5/12.5/25 MB ladder scaled by ``REPRO_SCALE`` (default 0.02 —
+see DESIGN.md; set ``REPRO_SCALE=1.0`` to run at full size).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+import pytest
+
+from repro.core.mapping import derive_mapping
+from repro.core.optimizer.placement import source_heavy_placement
+from repro.core.program.builder import build_transfer_program
+from repro.net.transport import SimulatedChannel
+from repro.reporting.tables import format_table
+from repro.services.endpoint import RelationalEndpoint
+from repro.workloads.sizes import DOCUMENT_SIZES_MB, scaled_bytes, \
+    size_label
+from repro.workloads.xmark import (
+    generate_xmark_document,
+    xmark_lf_fragmentation,
+    xmark_mf_fragmentation,
+    xmark_schema,
+)
+
+from support import SCENARIOS
+
+
+class ResultCollector:
+    """Accumulates (experiment, row, column) -> value cells."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, dict[tuple[str, str], object]] = \
+            defaultdict(dict)
+        self.titles: dict[str, str] = {}
+        self.notes: dict[str, list[str]] = defaultdict(list)
+
+    def record(self, experiment: str, row: str, column: str,
+               value: object, title: str | None = None) -> None:
+        self.tables[experiment][(row, column)] = value
+        if title:
+            self.titles[experiment] = title
+
+    def note(self, experiment: str, text: str) -> None:
+        self.notes[experiment].append(text)
+
+    def render(self, experiment: str) -> str:
+        cells = self.tables[experiment]
+        rows = sorted({key[0] for key in cells})
+        columns = sorted({key[1] for key in cells})
+        # Keep the paper's natural orders where recognizable.
+        rows = _paper_order(rows)
+        columns = _paper_order(columns)
+        body = [
+            [row] + [cells.get((row, column), "-") for column in columns]
+            for row in rows
+        ]
+        table = format_table(
+            [""] + columns, body,
+            title=self.titles.get(experiment, experiment),
+        )
+        extra = "\n".join(self.notes.get(experiment, []))
+        return table + ("\n" + extra if extra else "")
+
+
+def _paper_order(keys: list[str]) -> list[str]:
+    preferred = [
+        "2.5MB", "12.5MB", "25MB",
+        "MF->MF", "MF->LF", "LF->MF", "LF->LF",
+        "5/1", "2/1", "1/1", "1/2", "1/5",
+    ]
+    ranked = [key for key in preferred if key in keys]
+    return ranked + [key for key in keys if key not in ranked]
+
+
+_COLLECTOR = ResultCollector()
+
+
+@pytest.fixture(scope="session")
+def results() -> ResultCollector:
+    return _COLLECTOR
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _COLLECTOR.tables:
+        return
+    terminalreporter.section("paper tables and figures (measured)")
+    for experiment in sorted(_COLLECTOR.tables):
+        terminalreporter.write_line("")
+        for line in _COLLECTOR.render(experiment).splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+
+
+# -- workload fixtures ---------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return xmark_schema()
+
+
+@pytest.fixture(scope="session")
+def fragmentations(schema):
+    return {
+        "MF": xmark_mf_fragmentation(schema),
+        "LF": xmark_lf_fragmentation(schema),
+    }
+
+
+@pytest.fixture(scope="session")
+def size_labels():
+    return [size_label(size) for size in DOCUMENT_SIZES_MB]
+
+
+@pytest.fixture(scope="session")
+def documents(schema):
+    """One scaled document per ladder entry, generated once."""
+    return {
+        size_label(size): generate_xmark_document(
+            scaled_bytes(size), seed=42, schema=schema
+        )
+        for size in DOCUMENT_SIZES_MB
+    }
+
+
+@pytest.fixture(scope="session")
+def sources(fragmentations, documents):
+    """Loaded source endpoints, one per (fragmentation, size)."""
+    loaded = {}
+    for frag_name, fragmentation in fragmentations.items():
+        for label, document in documents.items():
+            endpoint = RelationalEndpoint(
+                f"src-{frag_name}-{label}", fragmentation
+            )
+            endpoint.load_document(document)
+            loaded[(frag_name, label)] = endpoint
+    return loaded
+
+
+@pytest.fixture(scope="session")
+def programs(fragmentations):
+    """Canonical transfer programs with the paper's placement (all
+    non-Write operations at the source, Section 5.3)."""
+    built = {}
+    for scenario in SCENARIOS:
+        source_kind, target_kind = scenario.split("->")
+        program = build_transfer_program(
+            derive_mapping(
+                fragmentations[source_kind],
+                fragmentations[target_kind],
+            )
+        )
+        built[scenario] = (program, source_heavy_placement(program))
+    return built
+
+
+@pytest.fixture
+def fresh_target(fragmentations):
+    """Factory for empty target endpoints."""
+    counter = [0]
+
+    def make(target_kind: str) -> RelationalEndpoint:
+        counter[0] += 1
+        return RelationalEndpoint(
+            f"tgt-{target_kind}-{counter[0]}",
+            fragmentations[target_kind],
+        )
+
+    return make
+
+
+@pytest.fixture
+def channel():
+    return SimulatedChannel()

@@ -1,0 +1,86 @@
+"""Ablation — calibrating the cost model to the live substrate.
+
+Section 4.1 assumes reliable computation-cost estimates "can be
+obtained from the individual systems".  This ablation obtains them:
+fit per-kind seconds-per-work-unit scales from one executed program
+(MF->LF), then *predict* the source-processing time of a different
+program (LF->MF) and compare against its measurement.  A model that
+transfers across programs is what makes the optimizer's decisions
+meaningful in wall-clock terms.
+"""
+
+import pytest
+
+from repro.core.cost.calibrate import calibrate
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.mapping import derive_mapping
+from repro.core.optimizer.placement import source_heavy_placement
+from repro.core.ops.base import Location
+from repro.core.program.builder import build_transfer_program
+from repro.core.program.executor import ProgramExecutor
+
+_RESULT: dict[str, float] = {}
+
+
+def test_calibration_transfers_across_programs(
+        benchmark, size_labels, sources, fragmentations, fresh_target,
+        results, documents):
+    label = size_labels[-1]
+    statistics = StatisticsCatalog.from_document(
+        fragmentations["MF"].schema, documents[label]
+    )
+
+    def run():
+        # Fit on MF->LF ...
+        fit_source = sources[("MF", label)]
+        fit_program = build_transfer_program(
+            derive_mapping(fragmentations["MF"], fragmentations["LF"])
+        )
+        fit_placement = source_heavy_placement(fit_program)
+        fit_report = ProgramExecutor(
+            fit_source, fresh_target("LF")
+        ).run(fit_program, fit_placement)
+        calibration = calibrate(fit_program, fit_report, statistics)
+
+        # ... predict LF->MF source processing, then measure it.
+        test_source = sources[("LF", label)]
+        test_program = build_transfer_program(
+            derive_mapping(fragmentations["LF"], fragmentations["MF"])
+        )
+        test_placement = source_heavy_placement(test_program)
+        predicted = sum(
+            calibration.predict(node)
+            for node in test_program.nodes
+            if test_placement[node.op_id] is Location.SOURCE
+        )
+        report = ProgramExecutor(
+            test_source, fresh_target("MF")
+        ).run(test_program, test_placement)
+        measured = report.source_seconds
+        return predicted, measured
+
+    predicted, measured = benchmark.pedantic(run, rounds=1,
+                                             iterations=1)
+    _RESULT["ratio"] = predicted / max(measured, 1e-9)
+    results.record(
+        "ablation-calibration", "LF->MF source processing",
+        "predicted secs", round(predicted, 4),
+        title="Ablation: calibrated model predicting a different "
+              "program's time",
+    )
+    results.record(
+        "ablation-calibration", "LF->MF source processing",
+        "measured secs", round(measured, 4),
+    )
+    results.record(
+        "ablation-calibration", "LF->MF source processing",
+        "predicted/measured", round(_RESULT["ratio"], 3),
+    )
+
+
+def test_calibration_shape():
+    if "ratio" not in _RESULT:
+        pytest.skip("run the measuring bench first")
+    # Cross-program prediction within a factor of 5 (the programs share
+    # only the scan/write kinds' scales; split is extrapolated).
+    assert 0.2 <= _RESULT["ratio"] <= 5.0, _RESULT["ratio"]

@@ -1,0 +1,68 @@
+"""Ablation — the communication weight ``w_com`` (formula 1).
+
+The paper balances computation and communication with weights.  This
+ablation sweeps ``w_com`` on the LF -> MF exchange against a *slow*
+target: with communication free the optimizer splits at the source
+(computation parity, shipping ignored); as shipping gets expensive the
+split migrates to the target, because the three LF feeds are smaller on
+the wire than 24 MF feeds.  The crossover demonstrates that the weights
+actually steer distributed processing.
+"""
+
+import pytest
+
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel, CostWeights, MachineProfile
+from repro.core.mapping import derive_mapping
+from repro.core.ops.base import Location
+from repro.core.optimizer.exhaustive import cost_based_optim
+from repro.core.program.builder import build_transfer_program
+
+_WEIGHTS = (0.0, 0.5, 5.0, 50.0)
+_PLACEMENTS: dict[float, str] = {}
+
+
+@pytest.mark.parametrize("w_com", _WEIGHTS)
+def test_comm_weight_sweep(benchmark, w_com, fragmentations, results):
+    schema = fragmentations["MF"].schema
+    stats = StatisticsCatalog.synthetic(schema, fanout=5.0)
+    model = CostModel(
+        stats,
+        source=MachineProfile("source"),
+        target=MachineProfile("target", speed=0.25),  # slow client
+        weights=CostWeights(communication=w_com),
+        bandwidth=1.0,
+    )
+    program = build_transfer_program(
+        derive_mapping(fragmentations["LF"], fragmentations["MF"])
+    )
+
+    placement, cost = benchmark.pedantic(
+        lambda: cost_based_optim(program, model), rounds=1, iterations=1
+    )
+    split_locations = {
+        placement[node.op_id].value
+        for node in program.nodes
+        if node.kind == "split"
+    }
+    location = "/".join(sorted(split_locations))
+    _PLACEMENTS[w_com] = location
+    results.record(
+        "ablation-comm-weight", f"w_com={w_com}", "split location",
+        location,
+        title="Ablation: communication weight steers Split placement "
+              "(LF->MF, slow target)",
+    )
+    results.record(
+        "ablation-comm-weight", f"w_com={w_com}", "cost",
+        round(cost, 1),
+    )
+
+
+def test_comm_weight_shape():
+    if len(_PLACEMENTS) < len(_WEIGHTS):
+        pytest.skip("run the sweep first")
+    # Free communication: the slow target repels work -> splits at S.
+    assert _PLACEMENTS[0.0] == "S"
+    # Expensive communication: smaller LF feeds win -> splits at T.
+    assert _PLACEMENTS[50.0] == "T"

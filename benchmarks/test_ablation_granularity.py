@@ -1,0 +1,81 @@
+"""Ablation — fragmentation granularity between MF and LF.
+
+The paper's two fragmentations are the extremes of a spectrum.  This
+ablation walks source fragmentations from most-fragmented (24
+fragments) down to least-fragmented (3) against a fixed LF target and
+charts the estimated exchange cost: the closer the source's granularity
+is to the target's, the fewer combines the program needs and the
+cheaper the exchange — the quantitative version of the paper's "if data
+could be sent fragmented, unnecessary computations would be avoided".
+"""
+
+import pytest
+
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel
+from repro.core.fragmentation import Fragmentation
+from repro.core.mapping import derive_mapping
+from repro.core.optimizer.search import greedy_exchange
+
+_COSTS: dict[int, float] = {}
+_COMBINES: dict[int, int] = {}
+
+
+def _source_roots(schema, level: int) -> list[str]:
+    """Fragment roots for granularity ``level``: LF's boundaries plus
+    progressively more cut points, deepest elements first."""
+    lf_roots = [schema.root.name] + [
+        node.name for node in schema.iter_nodes()
+        if node.cardinality.repeated
+    ]
+    extras = [
+        node.name for node in schema.iter_nodes()
+        if node.name not in lf_roots
+    ]
+    extras.sort(key=lambda name: -schema.depth(name))
+    return lf_roots + extras[:level]
+
+
+@pytest.mark.parametrize("extra_cuts", [0, 5, 11, 21])
+def test_granularity_level(benchmark, extra_cuts, fragmentations,
+                           results):
+    schema = fragmentations["LF"].schema
+    stats = StatisticsCatalog.synthetic(schema, fanout=5.0)
+    model = CostModel(stats, bandwidth=500.0)
+    source = Fragmentation.from_roots(
+        schema, _source_roots(schema, extra_cuts),
+        f"cut{extra_cuts}",
+    )
+    mapping = derive_mapping(source, fragmentations["LF"])
+
+    result = benchmark.pedantic(
+        lambda: greedy_exchange(mapping, model), rounds=1, iterations=1
+    )
+    combines = sum(
+        1 for node in result.program.nodes if node.kind == "combine"
+    )
+    _COSTS[extra_cuts] = result.cost
+    _COMBINES[extra_cuts] = combines
+    results.record(
+        "ablation-granularity", f"{len(source)} source fragments",
+        "estimated cost", round(result.cost, 1),
+        title="Ablation: source granularity vs exchange cost "
+              "(fixed LF target)",
+    )
+    results.record(
+        "ablation-granularity", f"{len(source)} source fragments",
+        "combines", combines,
+    )
+
+
+def test_granularity_shape():
+    if len(_COSTS) < 4:
+        pytest.skip("run the sweep first")
+    # Matching granularity (0 extra cuts == LF == target) is cheapest;
+    # cost and combine count grow monotonically with fragmentation.
+    levels = sorted(_COSTS)
+    costs = [_COSTS[level] for level in levels]
+    combines = [_COMBINES[level] for level in levels]
+    assert costs == sorted(costs)
+    assert combines == sorted(combines)
+    assert combines[0] == 0

@@ -1,0 +1,63 @@
+"""Ablation — the parallel-execution opportunity of Section 5.2.
+
+The paper executes all program pieces sequentially and notes that the
+Scan->Write series of identical-fragmentation exchanges "offers an
+opportunity for parallelism... that we did not pursue here".  This
+ablation pursues it: from the sequential run's per-operation timings,
+it computes the makespan a 4-way parallel executor would achieve for
+each scenario.  MF->MF (24 independent transfers) parallelizes best;
+MF->LF (3 expressions, one huge) barely benefits — the shape the paper
+predicts.
+"""
+
+import pytest
+
+from repro.core.program.parallel import simulate_parallel_makespan
+from repro.services.exchange import run_optimized_exchange
+
+from support import SCENARIOS
+
+_SPEEDUPS: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_parallel_speedup(benchmark, scenario, size_labels, sources,
+                          programs, fresh_target, channel, results):
+    label = size_labels[-1]
+    source_kind, target_kind = scenario.split("->")
+    source = sources[(source_kind, label)]
+    program, placement = programs[scenario]
+
+    def run():
+        target = fresh_target(target_kind)
+        channel.reset()
+        from repro.core.program.executor import ProgramExecutor
+
+        report = ProgramExecutor(source, target, channel).run(
+            program, placement
+        )
+        return simulate_parallel_makespan(
+            program, placement, report, workers=4
+        )
+
+    estimate = benchmark.pedantic(run, rounds=1, iterations=1)
+    _SPEEDUPS[scenario] = estimate.speedup
+    results.record(
+        "ablation-parallel", scenario, "independent groups",
+        estimate.groups,
+        title="Ablation: 4-way parallel execution (Section 5.2's "
+              "unpursued opportunity)",
+    )
+    results.record(
+        "ablation-parallel", scenario, "speedup x",
+        round(estimate.speedup, 2),
+    )
+
+
+def test_parallel_shape():
+    if len(_SPEEDUPS) < len(SCENARIOS):
+        pytest.skip("run the sweep first")
+    # MF->MF has 24 independent pieces; it must parallelize at least as
+    # well as MF->LF whose three expressions are dominated by one.
+    assert _SPEEDUPS["MF->MF"] >= _SPEEDUPS["MF->LF"] - 0.05
+    assert _SPEEDUPS["MF->MF"] > 1.3

@@ -1,0 +1,83 @@
+"""Figure 9 — End-to-end transfer breakdown, DE vs publish&map.
+
+The paper stacks, for the 25 MB document and each of the four
+scenarios, the times for: processing at the source, communication,
+shredding (PM only), loading the target DB and indexing.  Optimized DE
+saves 23–43% end-to-end depending on the scenario, and is "up to six
+times faster in data processing".
+
+This bench reruns the full pipelines at the scaled 25 MB size and
+prints the same stacked rows plus the per-scenario saving.
+"""
+
+import pytest
+
+from repro.services.exchange import (
+    STEPS,
+    run_optimized_exchange,
+    run_publish_and_map,
+)
+
+from support import SCENARIOS
+
+_SAVINGS: dict[str, float] = {}
+_SPEEDUPS: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_figure9_scenario(benchmark, scenario, size_labels, sources,
+                          programs, fresh_target, channel, results):
+    label = size_labels[-1]  # the paper charts the 25MB document
+    source_kind, target_kind = scenario.split("->")
+    source = sources[(source_kind, label)]
+    program, placement = programs[scenario]
+
+    def run_both():
+        de_target = fresh_target(target_kind)
+        de = run_optimized_exchange(
+            program, placement, source, de_target, channel, scenario
+        )
+        pm_target = fresh_target(target_kind)
+        pm = run_publish_and_map(source, pm_target, channel, scenario)
+        return de, pm
+
+    de, pm = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    for outcome, tag in ((de, "DE"), (pm, "PM")):
+        for step in STEPS:
+            results.record(
+                "figure9", f"{scenario} {tag}", step,
+                outcome.steps[step],
+                title=(
+                    "Figure 9: end-to-end transfer breakdown (secs), "
+                    f"document size {label}"
+                ),
+            )
+        results.record("figure9", f"{scenario} {tag}", "TOTAL",
+                       outcome.total_seconds)
+
+    saving = 100.0 * (1.0 - de.total_seconds / pm.total_seconds)
+    _SAVINGS[scenario] = saving
+    _SPEEDUPS[scenario] = (
+        pm.data_processing_seconds
+        / max(de.data_processing_seconds, 1e-9)
+    )
+    results.record(
+        "figure9-savings", scenario, "saving %", saving,
+        title="Figure 9 (derived): DE saving over PM, and data-"
+              "processing speedup (paper: 23-43% / up to 6x)",
+    )
+    results.record(
+        "figure9-savings", scenario, "processing speedup x",
+        _SPEEDUPS[scenario],
+    )
+
+
+def test_figure9_shape():
+    """DE saves in every scenario; processing speedups are > 1."""
+    if len(_SAVINGS) < len(SCENARIOS):
+        pytest.skip("cells incomplete (run the full module)")
+    for scenario, saving in _SAVINGS.items():
+        assert saving > 0, (scenario, saving)
+    assert max(_SAVINGS.values()) > 15.0
+    assert all(speedup > 1.0 for speedup in _SPEEDUPS.values())

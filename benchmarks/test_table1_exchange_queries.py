@@ -1,0 +1,58 @@
+"""Table 1 — Times to execute queries (Step 1) in optimized DE.
+
+The paper's Table 1 reports, for each scenario (MF->MF, MF->LF, LF->MF,
+LF->LF) and document size (2.5/12.5/25 MB), the time to execute the
+program parts assigned to the source.  Under the Section 5.3 placement
+that is everything except the Writes, so the cell equals the DE
+``source_processing`` step.
+
+Shape to reproduce: LF sources are faster than MF sources (fewer
+combines), LF->LF is the cheapest row, and times grow roughly linearly
+with document size.
+"""
+
+import pytest
+
+from repro.services.exchange import run_optimized_exchange
+
+from support import SCENARIOS
+
+
+@pytest.mark.parametrize("label_index", [0, 1, 2])
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_table1_cell(benchmark, scenario, label_index, size_labels,
+                     sources, programs, fresh_target, channel, results):
+    label = size_labels[label_index]
+    source_kind, target_kind = scenario.split("->")
+    source = sources[(source_kind, label)]
+    program, placement = programs[scenario]
+
+    def run_step1():
+        target = fresh_target(target_kind)
+        outcome = run_optimized_exchange(
+            program, placement, source, target, channel, scenario
+        )
+        return outcome.steps["source_processing"]
+
+    seconds = benchmark.pedantic(run_step1, rounds=1, iterations=1)
+    results.record(
+        "table1", scenario, label, seconds,
+        title="Table 1: times (secs) to execute queries (Step 1) in "
+              "optimized Data Exchange",
+    )
+
+
+def test_table1_shape(results, size_labels):
+    """After all cells ran: LF -> LF must be the cheapest source work
+    and MF -> LF the most expensive (matching the paper's ordering)."""
+    cells = results.tables.get("table1")
+    if not cells or len(cells) < 12:
+        pytest.skip("cells incomplete (run the full module)")
+    largest = size_labels[-1]
+    assert cells[("LF->LF", largest)] <= cells[("MF->LF", largest)]
+    assert cells[("LF->MF", largest)] <= cells[("MF->MF", largest)] * 2
+    # Growth with size: the 25MB cell dominates the 2.5MB cell.
+    for scenario in SCENARIOS:
+        assert cells[(scenario, largest)] > cells[
+            (scenario, size_labels[0])
+        ]

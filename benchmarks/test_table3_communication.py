@@ -1,0 +1,78 @@
+"""Table 3 — Communication times.
+
+The paper's Table 3 has three rows: optimized DE with an MF target,
+optimized DE with an LF target, and publish&map — under the Section 5.3
+placement the DE traffic depends only on the *target* fragmentation
+(all combines run at the source, so target-shaped feeds cross the
+network).
+
+Shape to reproduce: DE(target LF) < DE(target MF) < publish&map — feeds
+carry keys and values but no tags, and LF feeds have fewer rows (fewer
+keys) than MF feeds.
+"""
+
+import pytest
+
+from repro.services.exchange import (
+    run_optimized_exchange,
+    run_publish_and_map,
+)
+
+_ROWS = (
+    ("DE (target MF)", "MF->MF"),
+    ("DE (target LF)", "MF->LF"),
+    ("publish&map", None),
+)
+
+
+@pytest.mark.parametrize("label_index", [0, 1, 2])
+@pytest.mark.parametrize("row_label,scenario", _ROWS,
+                         ids=["target-mf", "target-lf", "pm"])
+def test_table3_cell(benchmark, row_label, scenario, label_index,
+                     size_labels, sources, programs, fresh_target,
+                     channel, results):
+    label = size_labels[label_index]
+
+    if scenario is None:
+        source = sources[("MF", label)]
+
+        def run():
+            target = fresh_target("LF")
+            outcome = run_publish_and_map(
+                source, target, channel, "pm"
+            )
+            return outcome.steps["communication"], outcome.comm_bytes
+    else:
+        source_kind, target_kind = scenario.split("->")
+        source = sources[(source_kind, label)]
+        program, placement = programs[scenario]
+
+        def run():
+            target = fresh_target(target_kind)
+            outcome = run_optimized_exchange(
+                program, placement, source, target, channel, scenario
+            )
+            return outcome.steps["communication"], outcome.comm_bytes
+
+    seconds, comm_bytes = benchmark.pedantic(run, rounds=1,
+                                             iterations=1)
+    results.record(
+        "table3", row_label, label, seconds,
+        title="Table 3: communication times (secs)",
+    )
+    results.record(
+        "table3-bytes", row_label, label, comm_bytes,
+        title="Table 3 (volume): bytes on the wire",
+    )
+
+
+def test_table3_shape(results, size_labels):
+    """DE ships less than publish&map, and LF targets less than MF."""
+    cells = results.tables.get("table3-bytes")
+    if not cells or len(cells) < 9:
+        pytest.skip("cells incomplete (run the full module)")
+    for label in size_labels:
+        lf = cells[("DE (target LF)", label)]
+        mf = cells[("DE (target MF)", label)]
+        pm = cells[("publish&map", label)]
+        assert lf < mf < pm, (lf, mf, pm, label)

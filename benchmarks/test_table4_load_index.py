@@ -1,0 +1,56 @@
+"""Table 4 — Times to load the target DB and create indices.
+
+Two rows (MF and LF targets), one ``load+index`` pair per document
+size.  Loading and indexing are identical between DE and publish&map
+(the same data lands either way), so the cells are measured once from
+an optimized exchange into a fresh target.
+
+Shape to reproduce: the MF target costs more on both components — it
+has 24 tables and one row per element, versus LF's 3 tables.
+"""
+
+import pytest
+
+from repro.services.exchange import run_optimized_exchange
+
+
+@pytest.mark.parametrize("label_index", [0, 1, 2])
+@pytest.mark.parametrize("target_kind", ["MF", "LF"])
+def test_table4_cell(benchmark, target_kind, label_index, size_labels,
+                     sources, programs, fresh_target, channel, results):
+    label = size_labels[label_index]
+    scenario = f"LF->{target_kind}"
+    source = sources[("LF", label)]
+    program, placement = programs[scenario]
+
+    def run():
+        target = fresh_target(target_kind)
+        outcome = run_optimized_exchange(
+            program, placement, source, target, channel, scenario
+        )
+        return outcome.steps["loading"], outcome.steps["indexing"]
+
+    load_seconds, index_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    results.record(
+        "table4", target_kind, label,
+        f"{load_seconds:.3f}+{index_seconds:.3f}",
+        title="Table 4: times (secs) to load target db (first value)"
+              " and create indices (second value)",
+    )
+    results.record("table4-load", target_kind, label, load_seconds,
+                   title="Table 4a: load component (secs)")
+    results.record("table4-index", target_kind, label, index_seconds,
+                   title="Table 4b: index component (secs)")
+
+
+def test_table4_shape(results, size_labels):
+    """MF targets pay more than LF targets for loading and indexing."""
+    load = results.tables.get("table4-load")
+    index = results.tables.get("table4-index")
+    if not load or len(load) < 6:
+        pytest.skip("cells incomplete (run the full module)")
+    largest = size_labels[-1]
+    assert load[("MF", largest)] > load[("LF", largest)]
+    assert index[("MF", largest)] > index[("LF", largest)]

@@ -1,0 +1,39 @@
+"""repro — A Web-Services Architecture for Efficient XML Data Exchange.
+
+A full reproduction of Amer-Yahia & Kotidis (ICDE 2004): fragment-based
+XML data exchange negotiated through a WSDL extension, with the
+discovery-agency middleware, the Scan/Combine/Split/Write program
+algebra, cost-based exhaustive and greedy optimizers, and the relational
+/ directory / network substrates the evaluation needs.
+
+Quick tour::
+
+    from repro.workloads import xmark_schema, xmark_mf_fragmentation
+    from repro.services import DiscoveryAgency, RelationalEndpoint
+
+See README.md for the architecture overview and examples/ for runnable
+scenarios.
+"""
+
+from repro.core import (
+    ElementData,
+    Fragment,
+    Fragmentation,
+    FragmentInstance,
+    Mapping,
+    derive_mapping,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Fragment",
+    "Fragmentation",
+    "ElementData",
+    "FragmentInstance",
+    "Mapping",
+    "derive_mapping",
+]

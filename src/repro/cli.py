@@ -1,0 +1,262 @@
+"""Command-line interface: inspect programs, run exchanges, simulate.
+
+Usage::
+
+    python -m repro program MF LF            # print the negotiated program
+    python -m repro exchange MF LF --size 25 # run DE vs publish&map
+    python -m repro wsdl LF                  # the registration document
+    python -m repro simulate --ratio 1/5     # a Table 5 configuration
+
+Workload selectors: ``MF``/``LF`` (the XMark fragmentations of
+Section 5) and ``S``/``T``/``DOC`` (the Section 1.1 customer scenario;
+``DOC`` is the whole-document default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence, TextIO
+
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel, MachineProfile
+from repro.core.fragmentation import Fragmentation
+from repro.core.mapping import derive_mapping
+from repro.core.optimizer.placement import source_heavy_placement
+from repro.core.program.builder import build_transfer_program
+from repro.core.program.render import summary, to_dot, to_text
+from repro.net.transport import SimulatedChannel
+from repro.reporting.tables import format_table
+from repro.schema.generator import balanced_schema
+from repro.services.agency import DiscoveryAgency
+from repro.services.endpoint import RelationalEndpoint
+from repro.services.exchange import (
+    run_optimized_exchange,
+    run_publish_and_map,
+)
+from repro.sim.simulator import ExchangeSimulator
+from repro.workloads.customer import (
+    customer_schema,
+    s_fragmentation,
+    t_fragmentation,
+)
+from repro.workloads.sizes import scaled_bytes
+from repro.workloads.xmark import (
+    generate_xmark_document,
+    xmark_lf_fragmentation,
+    xmark_mf_fragmentation,
+    xmark_schema,
+)
+
+_XMARK_KEYS = ("MF", "LF")
+_CUSTOMER_KEYS = ("S", "T", "DOC")
+
+
+def _resolve_pair(source_key: str, target_key: str
+                  ) -> tuple[Fragmentation, Fragmentation]:
+    """Resolve two fragmentation selectors over one shared schema.
+
+    Raises:
+        SystemExit: via argparse-style error for unknown/mixed keys.
+    """
+    source_key = source_key.upper()
+    target_key = target_key.upper()
+    if {source_key, target_key} <= set(_XMARK_KEYS):
+        schema = xmark_schema()
+        table = {
+            "MF": xmark_mf_fragmentation(schema),
+            "LF": xmark_lf_fragmentation(schema),
+        }
+    elif {source_key, target_key} <= set(_CUSTOMER_KEYS):
+        schema = customer_schema()
+        table = {
+            "S": s_fragmentation(schema),
+            "T": t_fragmentation(schema),
+            "DOC": Fragmentation.whole_document(schema),
+        }
+    else:
+        raise SystemExit(
+            f"cannot pair {source_key!r} with {target_key!r}: use "
+            f"{_XMARK_KEYS} together or {_CUSTOMER_KEYS} together"
+        )
+    return table[source_key], table[target_key]
+
+
+def cmd_program(args: argparse.Namespace, out: TextIO) -> int:
+    source, target = _resolve_pair(args.source, args.target)
+    mapping = derive_mapping(source, target)
+    model = CostModel(StatisticsCatalog.synthetic(source.schema))
+    agency = DiscoveryAgency(source.schema)
+    agency.register("source", source)
+    agency.register("target", target)
+    plan = agency.negotiate(
+        "source", "target", optimizer=args.optimizer, probe=model,
+        order_limit=args.order_limit,
+    )
+    program = plan.annotate()
+    print(f"# {args.source} -> {args.target}: {summary(program)} "
+          f"(estimated cost {plan.estimated_cost:,.0f}, "
+          f"optimizer={plan.optimizer})", file=out)
+    print(to_dot(program) if args.dot else to_text(program), file=out)
+    del mapping
+    return 0
+
+
+def cmd_wsdl(args: argparse.Namespace, out: TextIO) -> int:
+    source, _ = _resolve_pair(args.fragmentation, args.fragmentation)
+    agency = DiscoveryAgency(source.schema)
+    registration = agency.register("system", source)
+    print(registration.wsdl_text, file=out)
+    return 0
+
+
+def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
+    if args.source.upper() not in _XMARK_KEYS \
+            or args.target.upper() not in _XMARK_KEYS:
+        raise SystemExit(
+            "exchange runs on the XMark workload: use MF or LF"
+        )
+    source_frag, target_frag = _resolve_pair(args.source, args.target)
+    document = generate_xmark_document(
+        scaled_bytes(args.size, scale=args.scale), seed=args.seed
+    )
+    source = RelationalEndpoint("source", source_frag)
+    source.load_document(document)
+    program = build_transfer_program(
+        derive_mapping(source_frag, target_frag)
+    )
+    placement = source_heavy_placement(program)
+    de_target = RelationalEndpoint("de-target", target_frag)
+    de = run_optimized_exchange(
+        program, placement, source, de_target, SimulatedChannel(),
+        f"{args.source}->{args.target}",
+    )
+    pm_target = RelationalEndpoint("pm-target", target_frag)
+    pm = run_publish_and_map(
+        source, pm_target, SimulatedChannel(),
+        f"{args.source}->{args.target}",
+    )
+    rows = [
+        [outcome.method] + [
+            outcome.steps[step] for step in (
+                "source_processing", "communication", "shredding",
+                "loading", "indexing",
+            )
+        ] + [outcome.total_seconds]
+        for outcome in (de, pm)
+    ]
+    print(format_table(
+        ["method", "source", "comm", "shred", "load", "index",
+         "TOTAL"],
+        rows,
+        title=f"{args.source} -> {args.target}, "
+              f"{args.size} MB x scale {args.scale}",
+    ), file=out)
+    saving = 100 * (1 - de.total_seconds / pm.total_seconds)
+    print(f"optimized exchange saving: {saving:.1f}%", file=out)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
+    try:
+        source_part, target_part = args.ratio.split("/")
+        source_speed = float(source_part)
+        target_speed = float(target_part)
+    except ValueError as exc:
+        raise SystemExit(
+            f"--ratio must look like 5/1, got {args.ratio!r}"
+        ) from exc
+    schema = balanced_schema(2, 5, seed=3)
+    simulator = ExchangeSimulator(schema)
+    rng = random.Random(args.seed)
+    trials = [
+        simulator.greedy_quality_trial(
+            n_fragments=args.fragments,
+            source=MachineProfile("s", speed=source_speed),
+            target=MachineProfile("t", speed=target_speed),
+            rng=rng, order_limit=args.order_limit,
+        )
+        for _ in range(args.trials)
+    ]
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["Worst/Optimal",
+             sum(t.worst_over_optimal for t in trials) / len(trials)],
+            ["Greedy/Optimal",
+             sum(t.greedy_over_optimal for t in trials) / len(trials)],
+            ["optimal secs",
+             sum(t.optimal_seconds for t in trials) / len(trials)],
+            ["greedy secs",
+             sum(t.greedy_seconds for t in trials) / len(trials)],
+        ],
+        title=f"speed ratio {args.ratio}, {args.trials} trials "
+              "(compare Table 5)",
+    ), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Fragment-based XML data exchange "
+            "(Amer-Yahia & Kotidis, ICDE 2004)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    program = commands.add_parser(
+        "program", help="print a negotiated transfer program"
+    )
+    program.add_argument("source", help="MF|LF or S|T|DOC")
+    program.add_argument("target", help="MF|LF or S|T|DOC")
+    program.add_argument("--optimizer", default="canonical",
+                         choices=("canonical", "greedy", "optimal"))
+    program.add_argument("--order-limit", type=int, default=60)
+    program.add_argument("--dot", action="store_true",
+                         help="emit Graphviz DOT instead of text")
+    program.set_defaults(handler=cmd_program)
+
+    wsdl = commands.add_parser(
+        "wsdl", help="print a system's registration WSDL"
+    )
+    wsdl.add_argument("fragmentation", help="MF|LF or S|T|DOC")
+    wsdl.set_defaults(handler=cmd_wsdl)
+
+    exchange = commands.add_parser(
+        "exchange", help="run DE vs publish&map on XMark data"
+    )
+    exchange.add_argument("source", help="MF|LF")
+    exchange.add_argument("target", help="MF|LF")
+    exchange.add_argument("--size", type=float, default=25.0,
+                          help="document size in MB (paper ladder)")
+    exchange.add_argument("--scale", type=float, default=0.02,
+                          help="fraction of the paper size")
+    exchange.add_argument("--seed", type=int, default=42)
+    exchange.set_defaults(handler=cmd_exchange)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a Table 5 configuration"
+    )
+    simulate.add_argument("--ratio", default="1/1",
+                          help="source/target speed, e.g. 5/1")
+    simulate.add_argument("--trials", type=int, default=5)
+    simulate.add_argument("--fragments", type=int, default=11)
+    simulate.add_argument("--order-limit", type=int, default=60)
+    simulate.add_argument("--seed", type=int, default=42)
+    simulate.set_defaults(handler=cmd_simulate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None,
+         out: TextIO | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args, out or sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Fragmentation advisor — the paper's stated future work.
+
+    "In the future, we would like to explore solutions to derive the
+    best fragmentation for a system based on its internal indices and
+    data structures."  (Section 7)
+
+Given the peer's registered fragmentation, data statistics and a cost
+model, :func:`recommend_fragmentation` searches the space of valid
+fragmentations (equivalently: subsets of cut points, since a valid
+fragmentation of a tree is determined by its fragment roots) for the
+one minimizing the estimated exchange cost.  The search is greedy local
+improvement — add or remove one cut point per step — which converges in
+a handful of evaluations and, on the paper's workloads, discovers the
+intuitive optima (e.g. *register exactly the peer's fragmentation* when
+machines are similar, because identity exchanges need no operations).
+
+The evaluation function is pluggable so a system can bias the search
+with its own concerns (index maintenance, flat-storability, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.cost.probe import CostProbe
+from repro.core.fragmentation import Fragmentation
+from repro.core.mapping import derive_mapping
+from repro.core.optimizer.greedy import greedy_placement, greedy_program
+from repro.core.optimizer.placement import placement_cost
+from repro.schema.model import SchemaTree
+
+#: Scores a candidate fragmentation (lower is better).
+Objective = Callable[[Fragmentation], float]
+
+
+@dataclass(slots=True)
+class AdvisorResult:
+    """Outcome of a fragmentation search."""
+
+    fragmentation: Fragmentation
+    cost: float
+    evaluations: int
+    steps: int
+
+
+def exchange_objective(peer: Fragmentation, probe: CostProbe,
+                       as_source: bool = True,
+                       flat_storable_only: bool = True) -> Objective:
+    """The default objective: estimated cost of the greedy exchange
+    program between the candidate and the peer.
+
+    Args:
+        peer: the other system's registered fragmentation.
+        probe: cost probe (typically a CostModel with the negotiation
+            statistics).
+        as_source: True if the advised system produces fragments
+            (candidate -> peer); False if it consumes (peer ->
+            candidate).
+        flat_storable_only: reject fragmentations the relational
+            back-end cannot store as flat tables (infinite cost).
+    """
+
+    def score(candidate: Fragmentation) -> float:
+        if flat_storable_only and not candidate.is_flat_storable():
+            return float("inf")
+        if as_source:
+            mapping = derive_mapping(candidate, peer)
+        else:
+            mapping = derive_mapping(peer, candidate)
+        program = greedy_program(mapping, probe)
+        placement = greedy_placement(program, probe)
+        return placement_cost(program, placement, probe)
+
+    return score
+
+
+def recommend_fragmentation(schema: SchemaTree, objective: Objective,
+                            *, start: Fragmentation | None = None,
+                            max_steps: int = 50,
+                            name: str = "advised") -> AdvisorResult:
+    """Greedy local search over cut-point sets.
+
+    Starting from ``start`` (default: least-fragmented), repeatedly
+    apply the single cut-point addition or removal that improves the
+    objective most; stop at a local optimum or after ``max_steps``.
+
+    Returns the best fragmentation found (renamed to ``name``).
+    """
+    if start is None:
+        start = Fragmentation.least_fragmented(schema, name)
+    current_roots = {
+        fragment.root_name for fragment in start.fragments
+    }
+    evaluations = 0
+
+    def evaluate(roots: frozenset[str]) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        candidate = Fragmentation.from_roots(
+            schema, sorted(roots), name
+        )
+        return objective(candidate)
+
+    current = frozenset(current_roots)
+    current_cost = evaluate(current)
+    steps = 0
+    non_root_elements = [
+        element for element in schema.element_names()
+        if element != schema.root.name
+    ]
+    while steps < max_steps:
+        best_neighbor: frozenset[str] | None = None
+        best_cost = current_cost
+        for element in non_root_elements:
+            if element in current:
+                neighbor = current - {element}
+            else:
+                neighbor = current | {element}
+            cost = evaluate(neighbor)
+            if cost < best_cost:
+                best_cost = cost
+                best_neighbor = neighbor
+        if best_neighbor is None:
+            break
+        current = best_neighbor
+        current_cost = best_cost
+        steps += 1
+    return AdvisorResult(
+        Fragmentation.from_roots(schema, sorted(current), name),
+        current_cost,
+        evaluations,
+        steps,
+    )

@@ -1,0 +1,118 @@
+"""Calibrate the cost model against the live substrate.
+
+The paper assumes ``comp_cost`` "is given to us or that reliable
+estimates can be obtained from the individual systems".  This module
+obtains them: given one (or more) executed programs with measured
+per-operation wall times, it fits a per-kind seconds-per-work-unit
+scale by least squares, so estimated costs become predictions of this
+machine's actual seconds rather than abstract units.
+
+Usage::
+
+    report = ProgramExecutor(source, target).run(program, placement)
+    calibration = calibrate(program, report, statistics)
+    predicted = calibration.predict(op)          # seconds
+    model = calibration.scaled_model(...)        # a CostModel in seconds
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import (
+    CostModel,
+    CostWeights,
+    MachineProfile,
+    operation_work,
+)
+from repro.core.ops.base import Operation
+from repro.core.program.dag import TransferProgram
+from repro.core.program.executor import ExecutionReport
+
+_KINDS = ("scan", "combine", "split", "write")
+
+
+@dataclass(slots=True)
+class Calibration:
+    """Fitted seconds-per-work-unit by operation kind."""
+
+    statistics: StatisticsCatalog
+    seconds_per_unit: dict[str, float] = field(default_factory=dict)
+    samples: dict[str, int] = field(default_factory=dict)
+
+    def predict(self, op: Operation) -> float:
+        """Predicted execution seconds for ``op`` on the calibrated
+        machine (falls back to the mean scale for unseen kinds)."""
+        work = operation_work(op, self.statistics)
+        scale = self.seconds_per_unit.get(op.kind)
+        if scale is None:
+            fitted = [
+                value for value in self.seconds_per_unit.values()
+                if value > 0
+            ]
+            scale = sum(fitted) / len(fitted) if fitted else 0.0
+        return work * scale
+
+    def scaled_model(self, source: MachineProfile | None = None,
+                     target: MachineProfile | None = None,
+                     weights: CostWeights | None = None,
+                     bandwidth: float = 1.0) -> "CalibratedCostModel":
+        """A cost model whose comp costs are calibrated seconds."""
+        return CalibratedCostModel(
+            self, self.statistics, source, target, weights, bandwidth
+        )
+
+
+class CalibratedCostModel(CostModel):
+    """A :class:`CostModel` that prices computation in fitted seconds."""
+
+    def __init__(self, calibration: Calibration, *args,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.calibration = calibration
+
+    def comp_cost(self, op: Operation, location) -> float:
+        base = super().comp_cost(op, location)
+        if base == float("inf"):
+            return base  # capability restrictions still apply
+        machine = self.machine(location)
+        seconds = self.calibration.predict(op) / machine.speed
+        if op.kind == "write":
+            seconds *= machine.index_factor
+        return seconds
+
+
+def calibrate(program: TransferProgram, report: ExecutionReport,
+              statistics: StatisticsCatalog) -> Calibration:
+    """Fit per-kind scales from one executed program.
+
+    For each kind, the least-squares solution of
+    ``seconds ≈ scale · work`` over its operations is
+    ``Σ(work·seconds) / Σ(work²)``.
+
+    Raises:
+        ValueError: if the report does not match the program.
+    """
+    ordered = program.topological_order()
+    if len(ordered) != len(report.op_timings):
+        raise ValueError(
+            "report does not match the program (operation counts "
+            f"differ: {len(ordered)} vs {len(report.op_timings)})"
+        )
+    numerator: dict[str, float] = {kind: 0.0 for kind in _KINDS}
+    denominator: dict[str, float] = {kind: 0.0 for kind in _KINDS}
+    samples: dict[str, int] = {kind: 0 for kind in _KINDS}
+    for node, timing in zip(ordered, report.op_timings):
+        work = operation_work(node, statistics)
+        if work <= 0:
+            continue
+        numerator[node.kind] += work * timing.seconds
+        denominator[node.kind] += work * work
+        samples[node.kind] += 1
+    seconds_per_unit = {
+        kind: (numerator[kind] / denominator[kind])
+        for kind in _KINDS
+        if denominator[kind] > 0
+    }
+    return Calibration(statistics, seconds_per_unit, samples)

@@ -1,0 +1,18 @@
+"""The four primitive operations on fragments (Definitions 3.6–3.9).
+
+``Scan`` and ``Write`` are the endpoint-facing operations (each system
+implements its own, hiding its internal store); ``Combine`` and ``Split``
+are the structural operations the middleware reasons about.  Operation
+objects are *descriptions* — DAG nodes holding the fragments they consume
+and produce plus a location annotation (S or T); the instance-level
+semantics live in :mod:`repro.core.instance` and are invoked by the
+program executor.
+"""
+
+from repro.core.ops.base import Location, Operation
+from repro.core.ops.combine import Combine
+from repro.core.ops.scan import Scan
+from repro.core.ops.split import Split
+from repro.core.ops.write import Write
+
+__all__ = ["Location", "Operation", "Scan", "Combine", "Split", "Write"]

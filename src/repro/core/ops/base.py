@@ -1,0 +1,60 @@
+"""Base class and location annotation for primitive operations."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+from repro.core.fragment import Fragment
+
+
+class Location(enum.Enum):
+    """Where an operation executes: the source or the target system.
+
+    Each DAG node carries an S or T annotation (Section 4.1); ``None``
+    on an operation means "not yet assigned" during optimization.
+    """
+
+    SOURCE = "S"
+    TARGET = "T"
+
+    def other(self) -> "Location":
+        """The opposite endpoint."""
+        return (
+            Location.TARGET if self is Location.SOURCE else Location.SOURCE
+        )
+
+
+_op_counter = itertools.count(1)
+
+
+class Operation:
+    """A node of a data-transfer program.
+
+    Attributes:
+        inputs: fragments consumed, in positional order.
+        outputs: fragments produced, in positional order.
+        location: S/T annotation (``None`` until placement).
+        op_id: unique id used by renderers and the optimizer.
+    """
+
+    kind: str = "op"
+
+    __slots__ = ("inputs", "outputs", "location", "op_id")
+
+    def __init__(self, inputs: tuple[Fragment, ...],
+                 outputs: tuple[Fragment, ...],
+                 location: Location | None = None) -> None:
+        self.inputs = inputs
+        self.outputs = outputs
+        self.location = location
+        self.op_id = next(_op_counter)
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``Combine(Line, Switch)``."""
+        names = ", ".join(fragment.name for fragment in self.inputs)
+        return f"{type(self).__name__}({names})"
+
+    def __repr__(self) -> str:
+        loc = f"@{self.location.value}" if self.location else ""
+        return f"<{self.label()}{loc}>"

@@ -1,0 +1,46 @@
+"""``Combine`` (Definition 3.7): inline a child fragment into its parent.
+
+``Combine(f1, f2)`` modifies ``f1`` by attaching each ``f2`` row under
+the occurrence of ``f2``'s schema parent whose id matches the row's
+``PARENT``; the child's ID/PARENT exposure is removed.  Order and
+repetition of the inlined element are recovered from the schema
+(:meth:`repro.core.instance.ElementData.to_xml` serializes children in
+schema order).
+"""
+
+from __future__ import annotations
+
+from repro.core.fragment import Fragment
+from repro.core.instance import FragmentInstance
+from repro.core.ops.base import Location, Operation
+
+
+class Combine(Operation):
+    """Combine ``child`` into ``parent`` (both fragments of one schema)."""
+
+    kind = "combine"
+
+    def __init__(self, parent: Fragment, child: Fragment,
+                 location: Location | None = None) -> None:
+        result = parent.combined_with(child)
+        super().__init__((parent, child), (result,), location)
+
+    @property
+    def parent_fragment(self) -> Fragment:
+        """The fragment being extended."""
+        return self.inputs[0]
+
+    @property
+    def child_fragment(self) -> Fragment:
+        """The fragment being inlined."""
+        return self.inputs[1]
+
+    @property
+    def result(self) -> Fragment:
+        """The combined fragment."""
+        return self.outputs[0]
+
+    def apply(self, parent: FragmentInstance,
+              child: FragmentInstance) -> FragmentInstance:
+        """Instance-level combine (consumes both inputs)."""
+        return parent.combine(child, self.result.name)

@@ -1,0 +1,43 @@
+"""``Split`` (Definition 3.8): project a fragment into disjoint pieces.
+
+``Split(f, f1, ..., fn)`` partitions ``f``'s elements into fragments
+``f1 ... fn``, introducing fresh ``ID``/``PARENT`` exposure on each piece
+to preserve the parent/child relationships the schema dictates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.fragment import Fragment
+from repro.core.instance import FragmentInstance
+from repro.core.ops.base import Location, Operation
+
+
+class Split(Operation):
+    """Split ``fragment`` into the given disjoint pieces."""
+
+    kind = "split"
+
+    def __init__(self, fragment: Fragment, pieces: Sequence[Fragment],
+                 location: Location | None = None) -> None:
+        # Validates that `pieces` partitions `fragment`.
+        fragment.split_into(
+            [piece.elements for piece in pieces],
+            [piece.name for piece in pieces],
+        )
+        super().__init__((fragment,), tuple(pieces), location)
+
+    @property
+    def fragment(self) -> Fragment:
+        """The fragment being split."""
+        return self.inputs[0]
+
+    @property
+    def pieces(self) -> tuple[Fragment, ...]:
+        """The output fragments, in positional order."""
+        return self.outputs
+
+    def apply(self, instance: FragmentInstance) -> list[FragmentInstance]:
+        """Instance-level split (consumes the input)."""
+        return instance.split(list(self.pieces))

@@ -1,0 +1,101 @@
+"""Couple combine-order enumeration with placement optimization.
+
+The best program is the least expensive one among those returned by the
+cost-based distributed-processing algorithm across combine orderings
+(Section 4.2, last paragraph); the worst program charts the optimization
+window (Table 5); the greedy search does both choices heuristically in
+one pass (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.cost.model import CostWeights
+from repro.core.cost.probe import CostProbe
+from repro.core.mapping import Mapping
+from repro.core.optimizer.exhaustive import (
+    cost_based_optim,
+    cost_based_pessim,
+)
+from repro.core.optimizer.greedy import greedy_placement, greedy_program
+from repro.core.optimizer.placement import placement_cost
+from repro.core.program.builder import enumerate_transfer_programs
+from repro.core.program.dag import Placement, TransferProgram
+
+
+@dataclass(slots=True)
+class OptimizationResult:
+    """A chosen program with its placement and estimated cost."""
+
+    program: TransferProgram
+    placement: Placement
+    cost: float
+    programs_considered: int
+    elapsed_seconds: float
+
+    def annotate(self) -> TransferProgram:
+        """Write the placement onto the program nodes and return it."""
+        self.program.apply_placement(self.placement)
+        return self.program
+
+
+def optimal_exchange(mapping: Mapping, probe: CostProbe,
+                     weights: CostWeights | None = None,
+                     order_limit: int | None = None) -> OptimizationResult:
+    """Exhaustive search: every combine order × ``Cost_Based_Optim``.
+
+    ``order_limit`` caps the number of combine orders considered —
+    the paper reports optimal generation becomes impractical beyond
+    ~40-node schemas, which is exactly why the cap exists.
+    """
+    started = time.perf_counter()
+    best: OptimizationResult | None = None
+    considered = 0
+    for program in enumerate_transfer_programs(mapping, order_limit):
+        considered += 1
+        placement, cost = cost_based_optim(program, probe, weights)
+        if best is None or cost < best.cost:
+            best = OptimizationResult(
+                program, placement, cost, considered, 0.0
+            )
+    assert best is not None  # a valid mapping always yields >= 1 program
+    best.programs_considered = considered
+    best.elapsed_seconds = time.perf_counter() - started
+    return best
+
+
+def worst_exchange(mapping: Mapping, probe: CostProbe,
+                   weights: CostWeights | None = None,
+                   order_limit: int | None = None) -> OptimizationResult:
+    """The most expensive program in the search space of Algorithm 1
+    (used to assess the optimization opportunity, Section 5.4.2)."""
+    started = time.perf_counter()
+    worst: OptimizationResult | None = None
+    considered = 0
+    for program in enumerate_transfer_programs(mapping, order_limit):
+        considered += 1
+        placement, cost = cost_based_pessim(program, probe, weights)
+        if worst is None or cost > worst.cost:
+            worst = OptimizationResult(
+                program, placement, cost, considered, 0.0
+            )
+    assert worst is not None
+    worst.programs_considered = considered
+    worst.elapsed_seconds = time.perf_counter() - started
+    return worst
+
+
+def greedy_exchange(mapping: Mapping, probe: CostProbe,
+                    weights: CostWeights | None = None
+                    ) -> OptimizationResult:
+    """Greedy combine ordering + greedy placement (milliseconds even on
+    large schemas, Section 5.4.2)."""
+    started = time.perf_counter()
+    program = greedy_program(mapping, probe)
+    placement = greedy_placement(program, probe, weights)
+    cost = placement_cost(program, placement, probe, weights)
+    return OptimizationResult(
+        program, placement, cost, 1, time.perf_counter() - started
+    )

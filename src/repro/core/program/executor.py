@@ -1,0 +1,203 @@
+"""Execute placed data-transfer programs against system endpoints.
+
+The executor walks the DAG in topological order.  ``Scan`` and ``Write``
+are delegated to the owning endpoint (each system implements its own,
+Defs. 3.6/3.9); ``Combine`` and ``Split`` run wherever their node is
+placed, and their elapsed time is attributed to that system.  When an
+edge crosses systems the value is shipped through the channel, which
+accounts bytes and simulated transfer time (Section 4.1's ``comm_cost``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import ProgramError
+from repro.core.fragment import Fragment
+from repro.core.instance import FragmentInstance
+from repro.core.ops.base import Location, Operation
+from repro.core.ops.combine import Combine
+from repro.core.ops.scan import Scan
+from repro.core.ops.split import Split
+from repro.core.ops.write import Write
+from repro.core.program.dag import Placement, TransferProgram
+
+
+class DataEndpoint(Protocol):
+    """What the executor needs from a system (source or target)."""
+
+    def scan(self, fragment: Fragment) -> FragmentInstance:
+        """Produce the instance of ``fragment`` (Scan, Def. 3.6)."""
+        ...
+
+    def write(self, fragment: Fragment,
+              instance: FragmentInstance) -> None:
+        """Store ``instance`` (Write, Def. 3.9)."""
+        ...
+
+
+class ShippingChannel(Protocol):
+    """What the executor needs from the network between the systems."""
+
+    def ship_fragment(self, instance: FragmentInstance) -> "Shipment":
+        """Transfer an instance source → target; return the receipt."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class Shipment:
+    """Receipt for one cross-edge transfer."""
+
+    bytes_sent: int
+    seconds: float
+
+
+@dataclass(slots=True)
+class OperationTiming:
+    """Wall-clock timing of one executed operation."""
+
+    label: str
+    kind: str
+    location: Location
+    seconds: float
+    rows: int
+
+
+@dataclass(slots=True)
+class ExecutionReport:
+    """Aggregate metrics of one program execution."""
+
+    op_timings: list[OperationTiming] = field(default_factory=list)
+    comp_seconds: dict[Location, float] = field(
+        default_factory=lambda: {
+            Location.SOURCE: 0.0, Location.TARGET: 0.0,
+        }
+    )
+    comm_bytes: int = 0
+    comm_seconds: float = 0.0
+    shipments: int = 0
+    rows_written: int = 0
+
+    @property
+    def source_seconds(self) -> float:
+        """Computation time spent at the source."""
+        return self.comp_seconds[Location.SOURCE]
+
+    @property
+    def target_seconds(self) -> float:
+        """Computation time spent at the target."""
+        return self.comp_seconds[Location.TARGET]
+
+    @property
+    def total_seconds(self) -> float:
+        """Computation (both systems) plus communication time."""
+        return (
+            self.source_seconds + self.target_seconds + self.comm_seconds
+        )
+
+    def seconds_for_kind(self, kind: str) -> float:
+        """Total time of operations of one kind (scan/combine/...)."""
+        return sum(
+            timing.seconds
+            for timing in self.op_timings
+            if timing.kind == kind
+        )
+
+
+class _ZeroCostChannel:
+    """Accounts bytes but charges no transfer time (LAN-of-zero-latency)."""
+
+    def ship_fragment(self, instance: FragmentInstance) -> Shipment:
+        return Shipment(instance.estimated_size(), 0.0)
+
+
+class ProgramExecutor:
+    """Runs a placed program against a source and a target endpoint."""
+
+    def __init__(self, source: DataEndpoint, target: DataEndpoint,
+                 channel: ShippingChannel | None = None) -> None:
+        self.source = source
+        self.target = target
+        self.channel: ShippingChannel = channel or _ZeroCostChannel()
+
+    def _endpoint(self, location: Location) -> DataEndpoint:
+        return self.source if location is Location.SOURCE else self.target
+
+    def run(self, program: TransferProgram,
+            placement: Placement | None = None) -> ExecutionReport:
+        """Execute ``program`` under ``placement`` and return metrics.
+
+        Raises:
+            ProgramError: if the program is malformed.
+            PlacementError: if the placement is illegal or incomplete.
+        """
+        program.validate()
+        if placement is None:
+            placement = program.placement_from_nodes()
+        program.validate_placement(placement)
+
+        report = ExecutionReport()
+        # In-flight values keyed by producer port, tagged with the
+        # system currently holding them.
+        values: dict[tuple[int, int], tuple[FragmentInstance, Location]]
+        values = {}
+
+        for node in program.topological_order():
+            location = placement[node.op_id]
+            inputs: list[FragmentInstance] = []
+            for edge in program.in_edges(node):
+                key = (edge.producer.op_id, edge.output_index)
+                try:
+                    instance, holder = values.pop(key)
+                except KeyError as exc:
+                    raise ProgramError(
+                        f"value for {edge.producer.label()} output "
+                        f"{edge.output_index} consumed twice"
+                    ) from exc
+                if holder is not location:
+                    shipment = self.channel.ship_fragment(instance)
+                    report.comm_bytes += shipment.bytes_sent
+                    report.comm_seconds += shipment.seconds
+                    report.shipments += 1
+                inputs.append(instance)
+            outputs, elapsed, rows = self._execute(node, location, inputs)
+            report.op_timings.append(
+                OperationTiming(node.label(), node.kind, location,
+                                elapsed, rows)
+            )
+            report.comp_seconds[location] += elapsed
+            if node.kind == "write":
+                report.rows_written += rows
+            for index, output in enumerate(outputs):
+                values[(node.op_id, index)] = (output, location)
+        if values:
+            leftovers = ", ".join(
+                f"op {op_id} port {port}" for op_id, port in values
+            )
+            raise ProgramError(f"unconsumed program outputs: {leftovers}")
+        return report
+
+    def _execute(self, node: Operation, location: Location,
+                 inputs: list[FragmentInstance]
+                 ) -> tuple[list[FragmentInstance], float, int]:
+        endpoint = self._endpoint(location)
+        start = time.perf_counter()
+        if isinstance(node, Scan):
+            outputs = [endpoint.scan(node.fragment)]
+            rows = outputs[0].row_count()
+        elif isinstance(node, Combine):
+            outputs = [node.apply(inputs[0], inputs[1])]
+            rows = outputs[0].row_count()
+        elif isinstance(node, Split):
+            outputs = node.apply(inputs[0])
+            rows = sum(output.row_count() for output in outputs)
+        elif isinstance(node, Write):
+            endpoint.write(node.fragment, inputs[0])
+            outputs = []
+            rows = inputs[0].row_count()
+        else:
+            raise ProgramError(f"unknown operation kind {node.kind!r}")
+        elapsed = time.perf_counter() - start
+        return outputs, elapsed, rows

@@ -1,0 +1,81 @@
+"""Render transfer programs as text (Figures 3–6, 8 style) or DOT."""
+
+from __future__ import annotations
+
+from repro.core.ops.base import Operation
+from repro.core.program.dag import TransferProgram
+
+
+def _annotated(node: Operation) -> str:
+    if node.location is not None:
+        return f"{node.label()}@{node.location.value}"
+    return node.label()
+
+
+def to_text(program: TransferProgram) -> str:
+    """One line per data-flow edge, in topological order of producers.
+
+    Example output (compare Figure 5)::
+
+        Scan(Customer) --> Write(Customer)
+        Scan(Order) --> Combine(Order, Service)
+        Scan(Service) --> Combine(Order, Service)
+        Combine(Order, Service) --> Write(Order_Service)
+    """
+    order = {
+        node.op_id: position
+        for position, node in enumerate(program.topological_order())
+    }
+    lines = [
+        f"{_annotated(edge.producer)} --> {_annotated(edge.consumer)}"
+        for edge in sorted(
+            program.edges,
+            key=lambda edge: (
+                order[edge.producer.op_id], order[edge.consumer.op_id],
+                edge.output_index,
+            ),
+        )
+    ]
+    isolated = [
+        node for node in program.nodes
+        if not program.in_edges(node) and not program.out_edges(node)
+    ]
+    lines.extend(_annotated(node) for node in isolated)
+    return "\n".join(lines)
+
+
+def to_dot(program: TransferProgram) -> str:
+    """Graphviz DOT rendering (nodes shaded by location)."""
+    lines = ["digraph transfer {", "  rankdir=LR;"]
+    for node in program.nodes:
+        fill = {
+            "S": "lightblue",
+            "T": "lightsalmon",
+        }.get(node.location.value if node.location else "", "white")
+        lines.append(
+            f'  n{node.op_id} [label="{node.label()}", shape=box, '
+            f'style=filled, fillcolor={fill}];'
+        )
+    for edge in program.edges:
+        cross = (
+            edge.producer.location is not None
+            and edge.consumer.location is not None
+            and edge.producer.location is not edge.consumer.location
+        )
+        style = ' [style=dashed, label="ship"]' if cross else ""
+        lines.append(
+            f"  n{edge.producer.op_id} -> n{edge.consumer.op_id}{style};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def summary(program: TransferProgram) -> str:
+    """Counts by operation kind, e.g. ``scan=5 combine=4 split=0 write=4``."""
+    counts: dict[str, int] = {}
+    for node in program.nodes:
+        counts[node.kind] = counts.get(node.kind, 0) + 1
+    return " ".join(
+        f"{kind}={counts.get(kind, 0)}"
+        for kind in ("scan", "combine", "split", "write")
+    )

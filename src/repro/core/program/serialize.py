@@ -1,0 +1,155 @@
+"""Serialize transfer programs for assignment (Figure 2, step 4).
+
+The discovery agency "assigns operations to the source and the target
+that generate and execute code on their internal data structures" — in
+a deployment, the placed program must travel from the middleware to the
+endpoints.  This module provides a stable JSON-able representation:
+
+* fragments by (name, sorted element list) — resolved against the
+  agreed schema at load time, so both sides only need the schema;
+* operations by kind + fragment references + location;
+* edges by node index and port numbers.
+
+Round-tripping re-validates everything: fragment element sets must form
+legal fragments, programs must validate, placements must be legal.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ProgramError
+from repro.core.fragment import Fragment
+from repro.core.ops.base import Location
+from repro.core.ops.combine import Combine
+from repro.core.ops.scan import Scan
+from repro.core.ops.split import Split
+from repro.core.ops.write import Write
+from repro.core.program.dag import Placement, TransferProgram
+from repro.schema.model import SchemaTree
+
+FORMAT_VERSION = 1
+
+
+def _fragment_to_dict(fragment: Fragment) -> dict:
+    return {
+        "name": fragment.name,
+        "elements": sorted(fragment.elements),
+    }
+
+
+def _fragment_from_dict(data: dict, schema: SchemaTree) -> Fragment:
+    return Fragment(schema, data["elements"], data["name"])
+
+
+def program_to_dict(program: TransferProgram,
+                    placement: Placement | None = None) -> dict:
+    """Encode a program (and optional placement) as plain data."""
+    program.validate()
+    index_of = {
+        node.op_id: index for index, node in enumerate(program.nodes)
+    }
+    nodes = []
+    for node in program.nodes:
+        entry: dict = {"kind": node.kind}
+        if isinstance(node, (Scan, Write)):
+            entry["fragment"] = _fragment_to_dict(node.inputs[0])
+        elif isinstance(node, Combine):
+            entry["parent"] = _fragment_to_dict(node.parent_fragment)
+            entry["child"] = _fragment_to_dict(node.child_fragment)
+            entry["result_name"] = node.result.name
+        elif isinstance(node, Split):
+            entry["fragment"] = _fragment_to_dict(node.fragment)
+            entry["pieces"] = [
+                _fragment_to_dict(piece) for piece in node.pieces
+            ]
+        else:  # pragma: no cover - the four kinds are exhaustive
+            raise ProgramError(f"cannot serialize {node!r}")
+        if placement is not None:
+            entry["location"] = placement[node.op_id].value
+        nodes.append(entry)
+    edges = [
+        {
+            "producer": index_of[edge.producer.op_id],
+            "output": edge.output_index,
+            "consumer": index_of[edge.consumer.op_id],
+            "input": edge.input_index,
+        }
+        for edge in program.edges
+    ]
+    return {"version": FORMAT_VERSION, "nodes": nodes, "edges": edges}
+
+
+def program_from_dict(data: dict, schema: SchemaTree
+                      ) -> tuple[TransferProgram, Placement | None]:
+    """Decode a program against the agreed schema.
+
+    Returns the program and its placement (``None`` if the encoding
+    carried no locations).
+
+    Raises:
+        ProgramError: on version/kind mismatches or structural
+            problems (including anything the program validator or the
+            Fragment constructor rejects).
+    """
+    if data.get("version") != FORMAT_VERSION:
+        raise ProgramError(
+            f"unsupported program format version {data.get('version')!r}"
+        )
+    program = TransferProgram()
+    placement: Placement = {}
+    has_locations = False
+    nodes = []
+    for entry in data["nodes"]:
+        kind = entry.get("kind")
+        if kind == "scan":
+            node = Scan(_fragment_from_dict(entry["fragment"], schema))
+        elif kind == "write":
+            node = Write(
+                _fragment_from_dict(entry["fragment"], schema)
+            )
+        elif kind == "combine":
+            node = Combine(
+                _fragment_from_dict(entry["parent"], schema),
+                _fragment_from_dict(entry["child"], schema),
+            )
+        elif kind == "split":
+            node = Split(
+                _fragment_from_dict(entry["fragment"], schema),
+                [
+                    _fragment_from_dict(piece, schema)
+                    for piece in entry["pieces"]
+                ],
+            )
+        else:
+            raise ProgramError(f"unknown operation kind {kind!r}")
+        program.add(node)
+        nodes.append(node)
+        if "location" in entry:
+            has_locations = True
+            placement[node.op_id] = Location(entry["location"])
+    for edge in data["edges"]:
+        program.connect(
+            nodes[edge["producer"]], edge["output"],
+            nodes[edge["consumer"]], edge["input"],
+        )
+    program.validate()
+    if has_locations:
+        program.validate_placement(placement)
+        return program, placement
+    return program, None
+
+
+def program_to_json(program: TransferProgram,
+                    placement: Placement | None = None,
+                    indent: int | None = None) -> str:
+    """JSON string form of :func:`program_to_dict`."""
+    return json.dumps(
+        program_to_dict(program, placement), indent=indent
+    )
+
+
+def program_from_json(text: str, schema: SchemaTree
+                      ) -> tuple[TransferProgram, Placement | None]:
+    """Inverse of :func:`program_to_json`."""
+    return program_from_dict(json.loads(text), schema)

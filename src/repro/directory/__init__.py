@@ -1,0 +1,12 @@
+"""An LDAP-like hierarchical directory store.
+
+The motivating example's target system (Section 1.1) stores data in an
+LDAP directory whose instances are trees and whose classes carry a
+``DN`` (a Dewey identifier) plus an ``objectclass``.  This package is
+that substrate: enough of the LDAP data model [7] for the provisioning
+example to consume fragments without a relational engine.
+"""
+
+from repro.directory.store import DirectoryStore, Entry, ObjectClass
+
+__all__ = ["DirectoryStore", "Entry", "ObjectClass"]

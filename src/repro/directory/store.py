@@ -1,0 +1,129 @@
+"""The directory data model: Dewey DNs, object classes, entries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DirectoryError
+
+#: A distinguished name is a Dewey path: () is the root, (1, 3) is the
+#: third child of the first child of the root.
+DN = tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectClass:
+    """An object class: a name and the attributes entries MUST CONTAIN
+    (``DN`` and ``objectclass`` are implicit, as in the paper's sketch
+    of schema T)."""
+
+    name: str
+    must_contain: tuple[str, ...] = ()
+
+
+@dataclass(slots=True)
+class Entry:
+    """One directory entry."""
+
+    dn: DN
+    objectclass: str
+    attrs: dict[str, str] = field(default_factory=dict)
+
+    def dn_string(self) -> str:
+        """Dewey identifier rendered as dotted digits (root = '')."""
+        return ".".join(str(step) for step in self.dn)
+
+
+class DirectoryStore:
+    """A tree of entries with class checking."""
+
+    def __init__(self, name: str = "directory") -> None:
+        self.name = name
+        self._classes: dict[str, ObjectClass] = {}
+        self._entries: dict[DN, Entry] = {
+            (): Entry((), "top", {})
+        }
+        self._children: dict[DN, list[DN]] = {(): []}
+
+    # -- schema --------------------------------------------------------------
+
+    def define_class(self, object_class: ObjectClass) -> None:
+        """Register an object class.
+
+        Raises:
+            DirectoryError: on duplicate class names.
+        """
+        if object_class.name in self._classes:
+            raise DirectoryError(
+                f"object class {object_class.name!r} already defined"
+            )
+        self._classes[object_class.name] = object_class
+
+    def object_class(self, name: str) -> ObjectClass:
+        """Return a defined class.
+
+        Raises:
+            DirectoryError: if unknown.
+        """
+        try:
+            return self._classes[name]
+        except KeyError as exc:
+            raise DirectoryError(
+                f"unknown object class {name!r}"
+            ) from exc
+
+    # -- entries ---------------------------------------------------------------
+
+    def add_entry(self, parent_dn: DN, objectclass: str,
+                  attrs: dict[str, str]) -> DN:
+        """Add an entry under ``parent_dn`` and return its DN.
+
+        Raises:
+            DirectoryError: if the parent does not exist, the class is
+                unknown, or a MUST CONTAIN attribute is missing.
+        """
+        if parent_dn not in self._entries:
+            raise DirectoryError(
+                f"parent DN {parent_dn!r} does not exist"
+            )
+        declared = self.object_class(objectclass)
+        for required in declared.must_contain:
+            if required not in attrs:
+                raise DirectoryError(
+                    f"class {objectclass!r} MUST CONTAIN {required!r}"
+                )
+        siblings = self._children[parent_dn]
+        dn = parent_dn + (len(siblings) + 1,)
+        entry = Entry(dn, objectclass, dict(attrs))
+        self._entries[dn] = entry
+        self._children[dn] = []
+        siblings.append(dn)
+        return dn
+
+    def entry(self, dn: DN) -> Entry:
+        """Return the entry at ``dn``.
+
+        Raises:
+            DirectoryError: if it does not exist.
+        """
+        try:
+            return self._entries[dn]
+        except KeyError as exc:
+            raise DirectoryError(f"no entry at DN {dn!r}") from exc
+
+    def children(self, dn: DN) -> list[Entry]:
+        """Direct children of ``dn``, in insertion order."""
+        self.entry(dn)
+        return [self._entries[child] for child in self._children[dn]]
+
+    def search(self, objectclass: str) -> list[Entry]:
+        """All entries of one class, in DN order."""
+        return sorted(
+            (entry for entry in self._entries.values()
+             if entry.objectclass == objectclass),
+            key=lambda entry: entry.dn,
+        )
+
+    def __len__(self) -> int:
+        """Number of entries, excluding the implicit root."""
+        return len(self._entries) - 1

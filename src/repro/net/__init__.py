@@ -1,0 +1,26 @@
+"""Network substrate: SOAP framing and a simulated transport.
+
+The paper deploys its service over SOAP 1.1 / HTTP between two machines
+connected through the Internet; here :mod:`repro.net.soap` provides the
+envelope codec (fragment feeds and whole documents travel as SOAP
+bodies) and :mod:`repro.net.transport` a channel that charges bytes
+against a configured bandwidth/latency — the measured quantity behind
+Table 3.
+"""
+
+from repro.net.soap import (
+    parse_envelope,
+    soap_envelope,
+    unwrap_fragment_feed,
+    wrap_fragment_feed,
+)
+from repro.net.transport import NetworkProfile, SimulatedChannel
+
+__all__ = [
+    "NetworkProfile",
+    "SimulatedChannel",
+    "soap_envelope",
+    "parse_envelope",
+    "wrap_fragment_feed",
+    "unwrap_fragment_feed",
+]

@@ -1,0 +1,131 @@
+"""SOAP 1.1 envelopes for fragment feeds and documents.
+
+Fragment feeds are shipped as a sequence of fragment-instance documents
+inside one SOAP body.  The wire format preserves element ids (a ``_eid``
+attribute on every element) exactly as a sorted-feed shipment carries
+its keys/foreign keys in the paper's setting; ``ID``/``PARENT`` appear
+on fragment roots per Definition 3.1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SoapFault
+from repro.core.fragment import ID_ATTR, PARENT_ATTR, Fragment
+from repro.core.instance import ElementData, FragmentInstance, FragmentRow
+from repro.xmlkit.tree import Element, parse_tree
+from repro.xmlkit.writer import serialize
+
+ENVELOPE_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+_EID_ATTR = "_eid"
+
+
+def soap_envelope(body: Element) -> str:
+    """Wrap ``body`` in a SOAP 1.1 envelope and serialize."""
+    envelope = Element(
+        "soap:Envelope", {"xmlns:soap": ENVELOPE_NS}
+    )
+    envelope.append(Element("soap:Body")).append(body)
+    return serialize(envelope, indent=None)
+
+
+def parse_envelope(text: str) -> Element:
+    """Parse a SOAP envelope and return the single body child.
+
+    Raises:
+        SoapFault: if the message is not a well-formed SOAP envelope or
+            the body carries a ``Fault``.
+    """
+    root = parse_tree(text)
+    if root.local_name() != "Envelope":
+        raise SoapFault(f"not a SOAP envelope: <{root.name}>")
+    body = next(
+        (child for child in root.children
+         if child.local_name() == "Body"),
+        None,
+    )
+    if body is None or len(body.children) != 1:
+        raise SoapFault("SOAP body must contain exactly one element")
+    payload = body.children[0]
+    if payload.local_name() == "Fault":
+        fault_string = payload.child("faultstring")
+        raise SoapFault(fault_string.text if fault_string else "fault")
+    return payload
+
+
+def _element_to_wire(data: ElementData,
+                     expose_parent: int | None = None,
+                     expose: bool = False) -> Element:
+    attrs = dict(data.attrs)
+    attrs[_EID_ATTR] = str(data.eid)
+    if expose:
+        attrs[ID_ATTR] = str(data.eid)
+        attrs[PARENT_ATTR] = (
+            "" if expose_parent is None else str(expose_parent)
+        )
+    element = Element(data.name, attrs, text=data.text)
+    for group in data.children.values():
+        for child in group:
+            element.children.append(_element_to_wire(child))
+    return element
+
+
+def _element_from_wire(element: Element) -> ElementData:
+    attrs = dict(element.attrs)
+    try:
+        eid = int(attrs.pop(_EID_ATTR))
+    except KeyError as exc:
+        raise SoapFault(
+            f"wire element <{element.name}> is missing its {_EID_ATTR}"
+        ) from exc
+    attrs.pop(ID_ATTR, None)
+    attrs.pop(PARENT_ATTR, None)
+    data = ElementData(element.name, eid, attrs, element.text)
+    for child in element.children:
+        data.add_child(_element_from_wire(child))
+    return data
+
+
+def wrap_fragment_feed(instance: FragmentInstance) -> str:
+    """Serialize a fragment instance as one SOAP message."""
+    feed = Element(
+        "FragmentFeed",
+        {
+            "fragment": instance.fragment.name,
+            "count": str(instance.row_count()),
+        },
+    )
+    for row in instance.rows:
+        feed.children.append(
+            _element_to_wire(row.data, row.parent, expose=True)
+        )
+    return soap_envelope(feed)
+
+
+def unwrap_fragment_feed(text: str,
+                         fragment: Fragment) -> FragmentInstance:
+    """Parse a SOAP fragment-feed message back into an instance.
+
+    Raises:
+        SoapFault: on structural problems (wrong fragment, bad counts,
+            missing keys).
+    """
+    payload = parse_envelope(text)
+    if payload.local_name() != "FragmentFeed":
+        raise SoapFault(f"expected a FragmentFeed, got <{payload.name}>")
+    declared = payload.get("fragment")
+    if declared != fragment.name:
+        raise SoapFault(
+            f"feed carries fragment {declared!r}, expected "
+            f"{fragment.name!r}"
+        )
+    rows: list[FragmentRow] = []
+    for child in payload.children:
+        parent_raw = child.get(PARENT_ATTR, "")
+        parent = int(parent_raw) if parent_raw else None
+        rows.append(FragmentRow(_element_from_wire(child), parent))
+    declared_count = payload.get("count")
+    if declared_count is not None and int(declared_count) != len(rows):
+        raise SoapFault(
+            f"feed declares {declared_count} rows but carries {len(rows)}"
+        )
+    return FragmentInstance(fragment, rows)

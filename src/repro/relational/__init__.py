@@ -1,0 +1,36 @@
+"""An in-memory relational engine — the paper's MySQL stand-in.
+
+The real experiment (Section 5) ran two MySQL 3.23 servers; this package
+provides the equivalent substrate: typed tables
+(:mod:`repro.relational.table`), hash and sorted indexes
+(:mod:`repro.relational.index`), a database façade with a small SQL
+subset (:mod:`repro.relational.engine`, :mod:`repro.relational.sql`),
+plus the three XML-specific components the paper builds on top:
+
+* :mod:`repro.relational.frag_store` — a fragmentation's relational
+  schema (table per fragment) and fragment instance load/extract,
+* :mod:`repro.relational.publisher` — optimized XML publishing from
+  sorted feeds (merge & tag, after [6]),
+* :mod:`repro.relational.shredder` — stack-based SAX shredding of XML
+  into per-fragment tuple feeds (Section 5.1).
+"""
+
+from repro.relational.engine import Database
+from repro.relational.frag_store import FragmentRelationMapper
+from repro.relational.publisher import publish_document, publish_document_set
+from repro.relational.schema import Column, TableSchema
+from repro.relational.shredder import ShredResult, shred_document, shred_documents
+from repro.relational.types import ColumnType
+
+__all__ = [
+    "Database",
+    "Column",
+    "TableSchema",
+    "ColumnType",
+    "FragmentRelationMapper",
+    "publish_document",
+    "publish_document_set",
+    "shred_document",
+    "shred_documents",
+    "ShredResult",
+]

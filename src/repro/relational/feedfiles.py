@@ -1,0 +1,118 @@
+r"""ASCII feed files: the paper's shred-to-files / SQL LOAD path.
+
+Section 5.1: the shredder "discarded the content of the stack as soon
+as tuples were flushed to files", and loading is "SQL LOAD statements".
+This module provides that interchange format — a MySQL-LOAD-style
+tab-separated file per table, with a header line, ``\N`` for NULL and
+backslash escaping — plus whole-database dump/restore helpers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.errors import RelationalError
+from repro.relational.engine import Database
+from repro.relational.table import Table
+
+NULL_MARKER = r"\N"
+
+
+def _escape(value: object) -> str:
+    if value is None:
+        return NULL_MARKER
+    text = str(value)
+    return (
+        text.replace("\\", "\\\\")
+        .replace("\t", "\\t")
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape(field: str) -> str | None:
+    if field == NULL_MARKER:
+        return None
+    out: list[str] = []
+    index = 0
+    while index < len(field):
+        ch = field[index]
+        if ch == "\\" and index + 1 < len(field):
+            nxt = field[index + 1]
+            out.append({"t": "\t", "n": "\n", "\\": "\\"}.get(nxt, nxt))
+            index += 2
+        else:
+            out.append(ch)
+            index += 1
+    return "".join(out)
+
+
+def dump_table(table: Table, path: str) -> int:
+    """Write one table as a feed file; returns rows written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "\t".join(table.schema.column_names()) + "\n"
+        )
+        for row in table.scan():
+            handle.write(
+                "\t".join(_escape(value) for value in row) + "\n"
+            )
+    return len(table)
+
+
+def load_table(db: Database, table_name: str, path: str) -> int:
+    """Bulk-LOAD a feed file into an existing table.
+
+    The header must match the table's columns (order included).
+
+    Raises:
+        RelationalError: on a header mismatch or ragged rows.
+    """
+    table = db.table(table_name)
+    expected = [name.lower() for name in table.schema.column_names()]
+    rows: list[list[object]] = []
+    with open(path, encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n").split("\t")
+        if [name.lower() for name in header] != expected:
+            raise RelationalError(
+                f"feed file {path!r} header {header} does not match "
+                f"table {table_name!r} columns {expected}"
+            )
+        for line_number, line in enumerate(handle, start=2):
+            fields = line.rstrip("\n").split("\t")
+            if len(fields) != len(expected):
+                raise RelationalError(
+                    f"{path!r} line {line_number}: expected "
+                    f"{len(expected)} fields, got {len(fields)}"
+                )
+            rows.append([_unescape(field) for field in fields])
+    return db.load(table_name, rows)
+
+
+def dump_database(db: Database, directory: str) -> dict[str, int]:
+    """Dump every table to ``directory/<table>.feed``; returns the
+    per-table row counts."""
+    os.makedirs(directory, exist_ok=True)
+    counts = {}
+    for name in db.table_names():
+        counts[name] = dump_table(
+            db.table(name), os.path.join(directory, f"{name}.feed")
+        )
+    return counts
+
+
+def load_database(db: Database, directory: str,
+                  tables: Iterable[str] | None = None) -> int:
+    """Load feed files back into existing tables; returns total rows.
+
+    Raises:
+        RelationalError: if a requested feed file is missing.
+    """
+    names = list(tables) if tables is not None else db.table_names()
+    total = 0
+    for name in names:
+        path = os.path.join(directory, f"{name}.feed")
+        if not os.path.exists(path):
+            raise RelationalError(f"no feed file for table {name!r}")
+        total += load_table(db, name, path)
+    return total

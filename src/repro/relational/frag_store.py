@@ -1,0 +1,284 @@
+"""Relational storage of fragmentations.
+
+A registered (flat-storable) fragmentation maps to one table per
+fragment: ``id`` (the fragment root's element id), ``parent`` (the
+paper's PARENT attribute), an ``<element>_eid`` key column for every
+internal element (document structure is captured through foreign keys,
+Section 5), a text column per leaf, and a column per declared XML
+attribute.  The mapper moves whole documents and fragment instances in
+and out of that schema; ``Scan`` is a ``SELECT * ... ORDER BY parent,
+id`` (a sorted feed, as in [5, 6]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RelationalError, TableError
+from repro.core.fragment import Fragment
+from repro.core.fragmentation import Fragmentation
+from repro.core.instance import ElementData, FragmentInstance, FragmentRow
+from repro.relational.engine import Database
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import ColumnType
+
+
+@dataclass(frozen=True, slots=True)
+class _ColumnSpec:
+    """How one table column relates to the fragment's elements."""
+
+    name: str
+    role: str  # "id" | "parent" | "eid" | "text" | "attr"
+    element: str | None = None
+    attribute: str | None = None
+
+
+class _FragmentLayout:
+    """Column layout of one fragment's table."""
+
+    def __init__(self, fragment: Fragment) -> None:
+        if not fragment.is_flat_storable():
+            raise RelationalError(
+                f"fragment {fragment.name!r} has repeated inner elements "
+                "and cannot be stored as a flat relation (see DESIGN.md)"
+            )
+        self.fragment = fragment
+        self.table_name = fragment.name
+        self.specs: list[_ColumnSpec] = [
+            _ColumnSpec("id", "id", fragment.root_name),
+            _ColumnSpec("parent", "parent"),
+        ]
+        schema = fragment.schema
+        ordered_elements = [
+            node.name for node in schema.iter_nodes()
+            if node.name in fragment.elements
+        ]
+        for element in ordered_elements:
+            node = schema.node(element)
+            if element != fragment.root_name:
+                self.specs.append(
+                    _ColumnSpec(f"{element.lower()}_eid", "eid", element)
+                )
+            if node.is_leaf:
+                self.specs.append(
+                    _ColumnSpec(element.lower(), "text", element)
+                )
+            for attribute in node.attributes:
+                self.specs.append(
+                    _ColumnSpec(
+                        f"{element.lower()}_{attribute.lower()}",
+                        "attr", element, attribute,
+                    )
+                )
+        names = [spec.name for spec in self.specs]
+        if len(names) != len(set(names)):
+            raise TableError(
+                f"column name collision in fragment {fragment.name!r}: "
+                f"{sorted(names)}"
+            )
+
+    def table_schema(self) -> TableSchema:
+        columns = []
+        for spec in self.specs:
+            if spec.role in ("id", "parent", "eid"):
+                column_type = ColumnType.INTEGER
+            else:
+                column_type = ColumnType.TEXT
+            nullable = spec.role != "id"
+            columns.append(Column(spec.name, column_type, nullable))
+        return TableSchema(self.table_name, columns, primary_key="id")
+
+    # -- ElementData -> row -------------------------------------------------------
+
+    def row_from_occurrence(self, occurrence: ElementData,
+                            parent_eid: int | None) -> tuple:
+        """Flatten one fragment-root occurrence into a table row."""
+        found: dict[str, ElementData] = {}
+
+        def collect(node: ElementData) -> None:
+            found[node.name] = node
+            for child_name, group in node.children.items():
+                if child_name in self.fragment.elements:
+                    for child in group:
+                        collect(child)
+
+        collect(occurrence)
+        values: list[object] = []
+        for spec in self.specs:
+            if spec.role == "id":
+                values.append(occurrence.eid)
+            elif spec.role == "parent":
+                values.append(parent_eid)
+            else:
+                node = found.get(spec.element or "")
+                if node is None:
+                    values.append(None)
+                elif spec.role == "eid":
+                    values.append(node.eid)
+                elif spec.role == "text":
+                    values.append(node.text)
+                else:
+                    values.append(node.attrs.get(spec.attribute or ""))
+        return tuple(values)
+
+    # -- row -> ElementData ---------------------------------------------------------
+
+    def occurrence_from_row(self, row: tuple,
+                            positions: dict[str, int]
+                            ) -> tuple[ElementData, int | None]:
+        """Rebuild the nested occurrence (and its PARENT) from a row."""
+        by_element_eid: dict[str, object] = {}
+        texts: dict[str, str] = {}
+        attrs: dict[str, dict[str, str]] = {}
+        for spec in self.specs:
+            value = row[positions[spec.name]]
+            if spec.role in ("id", "eid") and spec.element:
+                by_element_eid[spec.element] = value
+            elif spec.role == "text" and spec.element:
+                if value is not None:
+                    texts[spec.element] = str(value)
+            elif spec.role == "attr" and spec.element and spec.attribute:
+                if value is not None:
+                    attrs.setdefault(spec.element, {})[
+                        spec.attribute
+                    ] = str(value)
+        parent_value = row[positions["parent"]]
+        parent_eid = None if parent_value is None else int(parent_value)
+
+        def build(element: str) -> ElementData | None:
+            eid = by_element_eid.get(element)
+            if eid is None:
+                return None
+            node = ElementData(
+                element,
+                int(eid),
+                dict(attrs.get(element, {})),
+                texts.get(element, ""),
+            )
+            for child in self.fragment.children_of(element):
+                built = build(child.name)
+                if built is not None:
+                    node.add_child(built)
+            return node
+
+        root = build(self.fragment.root_name)
+        if root is None:
+            raise RelationalError(
+                f"row in {self.table_name!r} has NULL id"
+            )
+        return root, parent_eid
+
+
+class FragmentRelationMapper:
+    """Create, populate and scan the tables of one fragmentation."""
+
+    def __init__(self, fragmentation: Fragmentation) -> None:
+        self.fragmentation = fragmentation
+        self.layouts: dict[str, _FragmentLayout] = {
+            fragment.name: _FragmentLayout(fragment)
+            for fragment in fragmentation
+        }
+
+    def layout_for(self, fragment: Fragment) -> _FragmentLayout:
+        """The layout of ``fragment``'s table.
+
+        Raises:
+            RelationalError: if the fragment is not part of the
+                registered fragmentation.
+        """
+        try:
+            return self.layouts[fragment.name]
+        except KeyError as exc:
+            raise RelationalError(
+                f"fragment {fragment.name!r} is not stored under "
+                f"fragmentation {self.fragmentation.name!r}"
+            ) from exc
+
+    def table_name(self, fragment: Fragment) -> str:
+        """Table that stores ``fragment``."""
+        return self.layout_for(fragment).table_name
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create_tables(self, db: Database) -> None:
+        """Create one (empty) table per fragment."""
+        for layout in self.layouts.values():
+            db.create_table(layout.table_schema())
+
+    def create_indexes(self, db: Database) -> int:
+        """Create and build the standard indexes (hash on ``id`` and on
+        ``parent``) on every fragment table; returns indexes built.
+        This is the separately-timed indexing step of Table 4."""
+        built = 0
+        for layout in self.layouts.values():
+            table = db.table(layout.table_name)
+            for column in ("id", "parent"):
+                if table.get_index(column) is None:
+                    key = f"hash:{column}"
+                    if key in table.indexes:
+                        table.indexes[key].build(table.rows)
+                    else:
+                        table.create_index(column, "hash")
+                    built += 1
+        return built
+
+    # -- loading --------------------------------------------------------------------
+
+    def load_document(self, db: Database, root: ElementData) -> int:
+        """Shred an in-memory document straight into the fragment
+        tables (initial population of a source system); returns the
+        number of rows loaded."""
+        buffers: dict[str, list[tuple]] = {
+            name: [] for name in self.layouts
+        }
+
+        def walk(node: ElementData, parent_eid: int | None) -> None:
+            fragment = self.fragmentation.fragment_of(node.name)
+            if fragment.root_name == node.name:
+                layout = self.layouts[fragment.name]
+                buffers[fragment.name].append(
+                    layout.row_from_occurrence(node, parent_eid)
+                )
+            for group in node.children.values():
+                for child in group:
+                    walk(child, node.eid)
+
+        walk(root, None)
+        loaded = 0
+        for name, rows in buffers.items():
+            loaded += db.load(self.layouts[name].table_name, rows)
+        return loaded
+
+    def load_instance(self, db: Database, fragment: Fragment,
+                      instance: FragmentInstance) -> int:
+        """Bulk-load one fragment instance into its table (Write)."""
+        layout = self.layout_for(fragment)
+        rows = [
+            layout.row_from_occurrence(row.data, row.parent)
+            for row in instance.rows
+        ]
+        return db.load(layout.table_name, rows)
+
+    # -- scanning ----------------------------------------------------------------------
+
+    def scan_fragment(self, db: Database,
+                      fragment: Fragment) -> FragmentInstance:
+        """Read a fragment back as a sorted feed (Scan, Def. 3.6)."""
+        layout = self.layout_for(fragment)
+        result = db.execute(
+            f"SELECT * FROM {layout.table_name} ORDER BY parent, id"
+        )
+        positions = {
+            name.lower(): index
+            for index, name in enumerate(result.columns)
+        }
+        rows = []
+        for raw in result.rows:
+            data, parent_eid = layout.occurrence_from_row(raw, positions)
+            rows.append(FragmentRow(data, parent_eid))
+        return FragmentInstance(fragment, rows)
+
+    def truncate_all(self, db: Database) -> None:
+        """Empty every fragment table (fresh target before a run)."""
+        for layout in self.layouts.values():
+            db.table(layout.table_name).truncate()

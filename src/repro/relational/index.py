@@ -1,0 +1,92 @@
+"""Secondary indexes: hash (equality) and sorted (range/order).
+
+Index maintenance is what Table 4 of the paper times separately from
+loading; :class:`Table` therefore does *not* maintain indexes during
+bulk loads — they are built explicitly afterwards, and
+:meth:`HashIndex.build` / :meth:`SortedIndex.build` do the measurable
+work.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+
+class HashIndex:
+    """Equality index: value → row ids."""
+
+    kind = "hash"
+
+    def __init__(self, table_name: str, column: str, position: int) -> None:
+        self.table_name = table_name
+        self.column = column
+        self.position = position
+        self._buckets: dict[object, list[int]] = {}
+        self.built = False
+
+    def build(self, rows: Sequence[tuple]) -> None:
+        """(Re)build the index over all rows."""
+        self._buckets.clear()
+        position = self.position
+        for row_id, row in enumerate(rows):
+            self._buckets.setdefault(row[position], []).append(row_id)
+        self.built = True
+
+    def add(self, row_id: int, row: tuple) -> None:
+        """Index one appended row (incremental maintenance)."""
+        self._buckets.setdefault(row[self.position], []).append(row_id)
+
+    def lookup(self, value: object) -> list[int]:
+        """Row ids whose column equals ``value``."""
+        return self._buckets.get(value, [])
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class SortedIndex:
+    """Order index: sorted (value, row id) pairs; supports ranges."""
+
+    kind = "sorted"
+
+    def __init__(self, table_name: str, column: str, position: int) -> None:
+        self.table_name = table_name
+        self.column = column
+        self.position = position
+        self._entries: list[tuple[object, int]] = []
+        self.built = False
+
+    def build(self, rows: Sequence[tuple]) -> None:
+        """(Re)build the index over all rows (None sorts first)."""
+        position = self.position
+        self._entries = sorted(
+            ((row[position], row_id) for row_id, row in enumerate(rows)
+             if row[position] is not None),
+            key=lambda entry: entry[0],
+        )
+        self.built = True
+
+    def add(self, row_id: int, row: tuple) -> None:
+        """Insert one appended row in order."""
+        value = row[self.position]
+        if value is None:
+            return
+        bisect.insort(self._entries, (value, row_id),
+                      key=lambda entry: entry[0])
+
+    def row_ids_in_order(self) -> Iterable[int]:
+        """All indexed row ids in ascending column order."""
+        return (row_id for _, row_id in self._entries)
+
+    def range(self, low: object | None, high: object | None) -> list[int]:
+        """Row ids with ``low <= value <= high`` (None = unbounded)."""
+        keys = [entry[0] for entry in self._entries]
+        start = 0 if low is None else bisect.bisect_left(keys, low)
+        stop = (
+            len(keys) if high is None else bisect.bisect_right(keys, high)
+        )
+        return [row_id for _, row_id in self._entries[start:stop]]
+
+    def __len__(self) -> int:
+        return len(self._entries)

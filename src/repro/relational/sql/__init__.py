@@ -1,0 +1,44 @@
+"""A small SQL subset: the dialect the exchange workloads need.
+
+Supported statements::
+
+    CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT NOT NULL, c REAL)
+    CREATE INDEX ON t (b)            -- hash
+    CREATE SORTED INDEX ON t (b)     -- ordered
+    INSERT INTO t VALUES (1, 'x', 2.5), (2, 'y', NULL)
+    SELECT a, u.b FROM t JOIN u ON t.a = u.fk WHERE a >= 2 AND u.b = 'y'
+        ORDER BY a DESC, b LIMIT 10
+    SELECT COUNT(*) FROM t WHERE c IS NOT NULL
+    DELETE FROM t WHERE a = 1
+
+This is what the paper's systems run underneath ``Scan`` (a SELECT with
+ORDER BY producing a sorted feed), the publisher's per-fragment queries,
+and the loader.
+"""
+
+from repro.relational.sql.ast import (
+    ColumnRef,
+    Condition,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    Statement,
+)
+from repro.relational.sql.executor import Result, execute_statement
+from repro.relational.sql.parser import parse_sql
+
+__all__ = [
+    "parse_sql",
+    "execute_statement",
+    "Result",
+    "Statement",
+    "Select",
+    "Insert",
+    "Delete",
+    "CreateTable",
+    "CreateIndex",
+    "ColumnRef",
+    "Condition",
+]

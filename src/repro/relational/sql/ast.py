@@ -1,0 +1,161 @@
+"""SQL abstract syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """A possibly-qualified column reference (``t.a`` or ``a``)."""
+
+    table: str | None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """An aggregate call: ``COUNT(*)``, ``SUM(col)``, ...
+
+    ``column is None`` only for ``COUNT(*)``.
+    """
+
+    func: str
+    column: ColumnRef | None = None
+
+    def default_name(self) -> str:
+        if self.column is None:
+            return "count"
+        return f"{self.func.lower()}_{self.column.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One output column: an expression plus an optional alias."""
+
+    expression: ColumnRef | Aggregate
+    alias: str | None = None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, Aggregate):
+            return self.expression.default_name()
+        return self.expression.column
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A constant value (int, float, str or None)."""
+
+    value: object
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """A comparison ``left op right``.
+
+    ``op`` ∈ {=, !=, <, <=, >, >=, IS NULL, IS NOT NULL}; for the IS
+    variants ``right`` is ignored.
+    """
+
+    left: ColumnRef
+    op: str
+    right: ColumnRef | Literal | None
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef:
+    """A table with an optional alias."""
+
+    name: str
+    alias: str
+
+    @classmethod
+    def of(cls, name: str, alias: str | None = None) -> "TableRef":
+        return cls(name, alias or name)
+
+
+@dataclass(frozen=True, slots=True)
+class Join:
+    """``JOIN table ON left = right`` (equi-joins only)."""
+
+    table: TableRef
+    left: ColumnRef
+    right: ColumnRef
+
+
+class Statement:
+    """Marker base class for parsed statements."""
+
+
+@dataclass(slots=True)
+class Select(Statement):
+    """A SELECT query.
+
+    ``items`` empty means ``SELECT *``.
+    """
+
+    items: list[SelectItem]
+    table: TableRef
+    joins: list[Join] = field(default_factory=list)
+    where: list[Condition] = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: list[tuple[ColumnRef, bool]] = field(default_factory=list)
+    limit: int | None = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True if any output item aggregates (or GROUP BY is present)."""
+        return bool(self.group_by) or any(
+            isinstance(item.expression, Aggregate) for item in self.items
+        )
+
+
+@dataclass(slots=True)
+class Insert(Statement):
+    """INSERT INTO ... [(columns)] VALUES (...), (...)."""
+
+    table: str
+    rows: list[list[object]]
+    columns: list[str] | None = None
+
+
+@dataclass(slots=True)
+class Update(Statement):
+    """UPDATE t SET col = literal [, ...] [WHERE ...]."""
+
+    table: str
+    assignments: list[tuple[str, object]]
+    where: list[Condition] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Delete(Statement):
+    """DELETE FROM ... [WHERE ...]."""
+
+    table: str
+    where: list[Condition] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class CreateTable(Statement):
+    """CREATE TABLE with column definitions."""
+
+    name: str
+    columns: list[tuple[str, str, bool, bool]]
+    #: (name, sql type, not_null, primary_key) per column
+
+
+@dataclass(slots=True)
+class CreateIndex(Statement):
+    """CREATE [SORTED] INDEX ON table (column)."""
+
+    table: str
+    column: str
+    kind: str = "hash"

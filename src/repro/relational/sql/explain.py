@@ -1,0 +1,106 @@
+"""EXPLAIN: describe how the executor will evaluate a SELECT.
+
+The engine's planning is deliberately simple (Section 5's systems are
+MySQL 3.23-class); :func:`explain` makes it inspectable so the cost
+claims in benchmarks can be sanity-checked against what actually runs:
+
+* base access — sequential scan, or a hash-index lookup when the query
+  is single-table with a leading ``col = literal`` filter and a built
+  index exists;
+* one hash join per JOIN clause (build on the joined table);
+* residual filters, grouping/aggregation, sort, limit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SqlSyntaxError
+from repro.relational.sql.ast import Literal, Select, Statement
+from repro.relational.sql.parser import parse_sql
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relational.engine import Database
+
+
+def explain(db: "Database", sql: str) -> str:
+    """Return the evaluation plan of a SELECT as indented text.
+
+    Raises:
+        SqlSyntaxError: if the statement is not a SELECT.
+    """
+    statement = parse_sql(sql)
+    return explain_statement(db, statement)
+
+
+def explain_statement(db: "Database", statement: Statement) -> str:
+    """Plan text for an already parsed statement."""
+    if not isinstance(statement, Select):
+        raise SqlSyntaxError("EXPLAIN supports SELECT statements only")
+
+    lines: list[str] = []
+    base = db.table(statement.table.name)
+    index_condition = _index_candidate(db, statement)
+    if index_condition is not None:
+        lines.append(
+            f"index lookup {statement.table.name} "
+            f"using hash({index_condition.left.column}) "
+            f"[{len(base)} rows stored]"
+        )
+        residual = len(statement.where) - 1
+    else:
+        lines.append(
+            f"seq scan {statement.table.name} [{len(base)} rows]"
+        )
+        residual = len(statement.where)
+
+    for join in statement.joins:
+        joined = db.table(join.table.name)
+        lines.append(
+            f"hash join build={join.table.name} "
+            f"[{len(joined)} rows] on {join.left} = {join.right}"
+        )
+    if residual:
+        lines.append(f"filter ({residual} predicate"
+                     f"{'s' if residual != 1 else ''})")
+    if statement.is_aggregate:
+        if statement.group_by:
+            keys = ", ".join(str(ref) for ref in statement.group_by)
+            lines.append(f"hash aggregate group by ({keys})")
+        else:
+            lines.append("aggregate (single group)")
+    if statement.order_by:
+        terms = ", ".join(
+            f"{ref}{'' if ascending else ' DESC'}"
+            for ref, ascending in statement.order_by
+        )
+        lines.append(f"sort ({terms})")
+    if statement.limit is not None:
+        lines.append(f"limit {statement.limit}")
+    projected = (
+        "*" if not statement.items
+        else ", ".join(item.output_name() for item in statement.items)
+    )
+    lines.append(f"project ({projected})")
+    return "\n".join(
+        ("  " * depth) + line for depth, line in enumerate(lines)
+    )
+
+
+def _index_candidate(db: "Database", statement: Select):
+    """Mirror the executor's index-filter applicability test."""
+    if statement.joins or not statement.where:
+        return None
+    condition = statement.where[0]
+    if condition.op != "=" or not isinstance(condition.right, Literal):
+        return None
+    table = db.table(statement.table.name)
+    if (condition.left.table is not None
+            and condition.left.table.lower()
+            != statement.table.alias.lower()):
+        return None
+    if not table.schema.has_column(condition.left.column):
+        return None
+    if table.get_index(condition.left.column, "hash") is None:
+        return None
+    return condition

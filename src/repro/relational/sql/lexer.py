@@ -1,0 +1,113 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+_SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", ".", "=", "<", ">", "*",
+            ";")
+_IDENT_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CHARS = _IDENT_START | set("0123456789$")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``ident``, ``number``, ``string``, ``symbol``,
+    ``end``.  Identifier ``text`` preserves case; keyword matching is
+    case-insensitive at the parser level.
+    """
+
+    kind: str
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Case-insensitive keyword test (identifiers double as
+        keywords, like in real SQL lexers)."""
+        return self.kind == "ident" and self.text.upper() == word.upper()
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; appends a sentinel ``end`` token.
+
+    Raises:
+        SqlSyntaxError: on unterminated strings or stray characters.
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        ch = sql[position]
+        if ch in " \t\r\n":
+            position += 1
+            continue
+        if ch == "-" and sql.startswith("--", position):
+            newline = sql.find("\n", position)
+            position = length if newline == -1 else newline + 1
+            continue
+        if ch == "'":
+            end = position + 1
+            parts: list[str] = []
+            while True:
+                quote = sql.find("'", end)
+                if quote == -1:
+                    raise SqlSyntaxError(
+                        f"unterminated string at offset {position}"
+                    )
+                if sql.startswith("''", quote):
+                    parts.append(sql[end:quote] + "'")
+                    end = quote + 2
+                    continue
+                parts.append(sql[end:quote])
+                break
+            tokens.append(Token("string", "".join(parts), position))
+            position = quote + 1
+            continue
+        if ch.isdigit() or (
+            ch in "+-" and position + 1 < length
+            and sql[position + 1].isdigit()
+            and _numeric_context(tokens)
+        ):
+            end = position + 1
+            seen_dot = False
+            while end < length and (sql[end].isdigit()
+                                    or (sql[end] == "." and not seen_dot)):
+                if sql[end] == ".":
+                    seen_dot = True
+                end += 1
+            tokens.append(Token("number", sql[position:end], position))
+            position = end
+            continue
+        if ch in _IDENT_START:
+            end = position + 1
+            while end < length and sql[end] in _IDENT_CHARS:
+                end += 1
+            tokens.append(Token("ident", sql[position:end], position))
+            position = end
+            continue
+        for symbol in _SYMBOLS:
+            if sql.startswith(symbol, position):
+                tokens.append(Token("symbol", symbol, position))
+                position += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(
+                f"unexpected character {ch!r} at offset {position}"
+            )
+    tokens.append(Token("end", "", length))
+    return tokens
+
+
+def _numeric_context(tokens: list[Token]) -> bool:
+    """A leading +/- starts a number only where a value may appear."""
+    if not tokens:
+        return True
+    last = tokens[-1]
+    return last.kind == "symbol" and last.text in ("(", ",", "=", "<", ">",
+                                                   "<=", ">=", "!=", "<>")

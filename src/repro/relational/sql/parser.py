@@ -1,0 +1,346 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.relational.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
+    ColumnRef,
+    Condition,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    Insert,
+    Join,
+    Literal,
+    Select,
+    SelectItem,
+    Statement,
+    TableRef,
+    Update,
+)
+from repro.relational.sql.lexer import Token, tokenize
+
+_RESERVED = {
+    "SELECT", "FROM", "WHERE", "JOIN", "ON", "ORDER", "BY", "LIMIT",
+    "AND", "AS", "INSERT", "INTO", "VALUES", "DELETE", "CREATE",
+    "TABLE", "INDEX", "SORTED", "NOT", "NULL", "PRIMARY", "KEY",
+    "COUNT", "SUM", "MIN", "MAX", "AVG", "GROUP", "ASC", "DESC", "IS",
+    "UPDATE", "SET",
+}
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.tokens = tokenize(sql)
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        token = self.peek()
+        return SqlSyntaxError(
+            f"{message} near {token.text!r} (offset {token.position})"
+        )
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word}")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        if token.kind == "symbol" and token.text == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise self.error(f"expected {symbol!r}")
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident" or token.text.upper() in _RESERVED:
+            raise self.error("expected an identifier")
+        return self.advance().text
+
+    # -- entry point ------------------------------------------------------------
+
+    def parse(self) -> Statement:
+        if self.peek().is_keyword("SELECT"):
+            statement: Statement = self.select()
+        elif self.peek().is_keyword("INSERT"):
+            statement = self.insert()
+        elif self.peek().is_keyword("UPDATE"):
+            statement = self.update()
+        elif self.peek().is_keyword("DELETE"):
+            statement = self.delete()
+        elif self.peek().is_keyword("CREATE"):
+            statement = self.create()
+        else:
+            raise self.error(
+                "expected SELECT, INSERT, UPDATE, DELETE or CREATE"
+            )
+        self.accept_symbol(";")
+        if self.peek().kind != "end":
+            raise self.error("trailing input after statement")
+        return statement
+
+    # -- SELECT --------------------------------------------------------------------
+
+    def select(self) -> Select:
+        self.expect_keyword("SELECT")
+        items: list[SelectItem] = []
+        if self.accept_symbol("*"):
+            pass  # empty items means SELECT *
+        else:
+            items.append(self.select_item())
+            while self.accept_symbol(","):
+                items.append(self.select_item())
+        self.expect_keyword("FROM")
+        table = self.table_ref()
+        joins: list[Join] = []
+        while self.accept_keyword("JOIN"):
+            joined = self.table_ref()
+            self.expect_keyword("ON")
+            left = self.column_ref()
+            self.expect_symbol("=")
+            right = self.column_ref()
+            joins.append(Join(joined, left, right))
+        where = self.where_clause()
+        group_by: list[ColumnRef] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.column_ref())
+            while self.accept_symbol(","):
+                group_by.append(self.column_ref())
+        order_by: list[tuple[ColumnRef, bool]] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.order_term())
+            while self.accept_symbol(","):
+                order_by.append(self.order_term())
+        limit: int | None = None
+        if self.accept_keyword("LIMIT"):
+            token = self.peek()
+            if token.kind != "number":
+                raise self.error("LIMIT expects a number")
+            self.advance()
+            limit = int(token.text)
+        return Select(items, table, joins, where, group_by, order_by,
+                      limit)
+
+    def select_item(self) -> SelectItem:
+        expression: ColumnRef | Aggregate
+        token = self.peek()
+        if (token.kind == "ident"
+                and token.text.upper() in AGGREGATE_FUNCTIONS):
+            func = self.advance().text.upper()
+            self.expect_symbol("(")
+            if func == "COUNT" and self.accept_symbol("*"):
+                expression = Aggregate("COUNT", None)
+            else:
+                expression = Aggregate(func, self.column_ref())
+            self.expect_symbol(")")
+        else:
+            expression = self.column_ref()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        return SelectItem(expression, alias)
+
+    def order_term(self) -> tuple[ColumnRef, bool]:
+        column = self.column_ref()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return column, ascending
+
+    def table_ref(self) -> TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif (self.peek().kind == "ident"
+                and self.peek().text.upper() not in _RESERVED):
+            alias = self.advance().text
+        return TableRef.of(name, alias)
+
+    def column_ref(self) -> ColumnRef:
+        first = self.expect_ident()
+        if self.accept_symbol("."):
+            return ColumnRef(first, self.expect_ident())
+        return ColumnRef(None, first)
+
+    def where_clause(self) -> list[Condition]:
+        conditions: list[Condition] = []
+        if self.accept_keyword("WHERE"):
+            conditions.append(self.condition())
+            while self.accept_keyword("AND"):
+                conditions.append(self.condition())
+        return conditions
+
+    def condition(self) -> Condition:
+        left = self.column_ref()
+        if self.accept_keyword("IS"):
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                return Condition(left, "IS NOT NULL", None)
+            self.expect_keyword("NULL")
+            return Condition(left, "IS NULL", None)
+        token = self.peek()
+        if token.kind != "symbol" or token.text not in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            raise self.error("expected a comparison operator")
+        self.advance()
+        op = "!=" if token.text == "<>" else token.text
+        return Condition(left, op, self.value_or_column())
+
+    def value_or_column(self) -> ColumnRef | Literal:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            value = float(token.text) if "." in token.text else int(
+                token.text)
+            return Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.text)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        return self.column_ref()
+
+    # -- INSERT / DELETE ----------------------------------------------------------------
+
+    def insert(self) -> Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: list[str] | None = None
+        if self.accept_symbol("("):
+            columns = [self.expect_ident()]
+            while self.accept_symbol(","):
+                columns.append(self.expect_ident())
+            self.expect_symbol(")")
+        self.expect_keyword("VALUES")
+        rows = [self.value_tuple()]
+        while self.accept_symbol(","):
+            rows.append(self.value_tuple())
+        return Insert(table, rows, columns)
+
+    def value_tuple(self) -> list[object]:
+        self.expect_symbol("(")
+        values = [self.literal_value()]
+        while self.accept_symbol(","):
+            values.append(self.literal_value())
+        self.expect_symbol(")")
+        return values
+
+    def literal_value(self) -> object:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return float(token.text) if "." in token.text else int(
+                token.text)
+        if token.kind == "string":
+            self.advance()
+            return token.text
+        if token.is_keyword("NULL"):
+            self.advance()
+            return None
+        raise self.error("expected a literal value")
+
+    def update(self) -> Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self.assignment()]
+        while self.accept_symbol(","):
+            assignments.append(self.assignment())
+        return Update(table, assignments, self.where_clause())
+
+    def assignment(self) -> tuple[str, object]:
+        column = self.expect_ident()
+        self.expect_symbol("=")
+        return column, self.literal_value()
+
+    def delete(self) -> Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        return Delete(table, self.where_clause())
+
+    # -- CREATE ------------------------------------------------------------------------------
+
+    def create(self) -> Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self.create_table()
+        kind = "hash"
+        if self.accept_keyword("SORTED"):
+            kind = "sorted"
+        self.expect_keyword("INDEX")
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        self.expect_symbol("(")
+        column = self.expect_ident()
+        self.expect_symbol(")")
+        return CreateIndex(table, column, kind)
+
+    def create_table(self) -> CreateTable:
+        name = self.expect_ident()
+        self.expect_symbol("(")
+        columns: list[tuple[str, str, bool, bool]] = []
+        while True:
+            column_name = self.expect_ident()
+            type_token = self.peek()
+            if type_token.kind != "ident":
+                raise self.error("expected a column type")
+            self.advance()
+            not_null = False
+            primary_key = False
+            while True:
+                if self.accept_keyword("NOT"):
+                    self.expect_keyword("NULL")
+                    not_null = True
+                elif self.accept_keyword("PRIMARY"):
+                    self.expect_keyword("KEY")
+                    primary_key = True
+                    not_null = True
+                else:
+                    break
+            columns.append(
+                (column_name, type_token.text, not_null, primary_key)
+            )
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(")")
+        return CreateTable(name, columns)
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse one SQL statement.
+
+    Raises:
+        SqlSyntaxError: on malformed input.
+    """
+    return _Parser(sql).parse()

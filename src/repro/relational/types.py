@@ -1,0 +1,57 @@
+"""Column types and value coercion for the relational engine."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import TableError
+
+
+class ColumnType(enum.Enum):
+    """The three storage types the workloads need."""
+
+    INTEGER = "INTEGER"
+    TEXT = "TEXT"
+    REAL = "REAL"
+
+    @classmethod
+    def from_sql(cls, token: str) -> "ColumnType":
+        """Map a SQL type name (with common aliases) to a ColumnType."""
+        normalized = token.upper()
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "REAL": cls.REAL,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError as exc:
+            raise TableError(f"unknown column type {token!r}") from exc
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` to this type (``None`` passes through).
+
+        Raises:
+            TableError: if the value cannot represent this type.
+        """
+        if value is None:
+            return None
+        try:
+            if self is ColumnType.INTEGER:
+                if isinstance(value, bool):
+                    raise ValueError("booleans are not integers")
+                return int(value)
+            if self is ColumnType.REAL:
+                return float(value)
+            return str(value)
+        except (TypeError, ValueError) as exc:
+            raise TableError(
+                f"cannot store {value!r} in a {self.value} column"
+            ) from exc

@@ -1,0 +1,43 @@
+"""Aligned text tables, used to print the paper's tables verbatim."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned text table.
+
+    Floats are shown with three decimals; everything else via ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered = [[cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[index]) for row in rendered))
+        if rendered else len(header)
+        for index, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(
+            header.ljust(width)
+            for header, width in zip(headers, widths)
+        )
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(
+                value.ljust(width)
+                for value, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""A small wall-clock timer context manager."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Measure a block's elapsed time::
+
+        with Timer() as timer:
+            work()
+        print(timer.seconds)
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._started

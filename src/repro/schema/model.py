@@ -1,0 +1,241 @@
+"""Schema trees: the paper's view of XML Schemas (Section 3.1).
+
+A schema is a rooted tree of named elements.  Each element has a
+cardinality *relative to its parent* (exactly-one, optional, ``*`` or
+``+``), an ordered list of child elements, an optional list of attribute
+names, and leaf elements carry text content in instances.
+
+Element names are unique within a tree — the paper's validity definition
+("each element in the XML Schema is defined only once", Def. 3.4) relies
+on this, and both the customer schema of Section 1.1 and the XMark DTD of
+Figure 7 satisfy it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import SchemaError
+
+
+class Cardinality(enum.Enum):
+    """How many times an element occurs under its parent."""
+
+    ONE = ""
+    OPT = "?"
+    MANY = "*"
+    PLUS = "+"
+
+    @property
+    def repeated(self) -> bool:
+        """True for ``*`` and ``+`` (more than one occurrence allowed)."""
+        return self in (Cardinality.MANY, Cardinality.PLUS)
+
+    @property
+    def optional(self) -> bool:
+        """True for ``?`` and ``*`` (zero occurrences allowed)."""
+        return self in (Cardinality.OPT, Cardinality.MANY)
+
+    @classmethod
+    def from_suffix(cls, suffix: str) -> "Cardinality":
+        """Map a DTD occurrence suffix (``""``/``?``/``*``/``+``)."""
+        for member in cls:
+            if member.value == suffix:
+                return member
+        raise SchemaError(f"unknown occurrence suffix {suffix!r}")
+
+
+@dataclass(slots=True)
+class SchemaNode:
+    """One element declaration in a schema tree."""
+
+    name: str
+    cardinality: Cardinality = Cardinality.ONE
+    children: list["SchemaNode"] = field(default_factory=list)
+    attributes: list[str] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Leaf elements carry text content in instances."""
+        return not self.children
+
+    def child(self, name: str) -> "SchemaNode":
+        """Return the direct child named ``name``.
+
+        Raises:
+            SchemaError: if there is no such child.
+        """
+        for node in self.children:
+            if node.name == name:
+                return node
+        raise SchemaError(f"{self.name!r} has no child element {name!r}")
+
+    def child_index(self, name: str) -> int:
+        """Return the position of child ``name`` in schema order."""
+        for index, node in enumerate(self.children):
+            if node.name == name:
+                return index
+        raise SchemaError(f"{self.name!r} has no child element {name!r}")
+
+
+class SchemaTree:
+    """A rooted schema tree with unique element names and fast lookups."""
+
+    def __init__(self, root: SchemaNode) -> None:
+        self.root = root
+        self._nodes: dict[str, SchemaNode] = {}
+        self._parents: dict[str, str | None] = {}
+        self._depths: dict[str, int] = {}
+        self._index(root, None, 0)
+
+    def _index(self, node: SchemaNode, parent: str | None,
+               depth: int) -> None:
+        if node.name in self._nodes:
+            raise SchemaError(
+                f"element {node.name!r} is declared more than once"
+            )
+        self._nodes[node.name] = node
+        self._parents[node.name] = parent
+        self._depths[node.name] = depth
+        for child in node.children:
+            self._index(child, node.name, depth + 1)
+
+    # -- lookups ---------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> SchemaNode:
+        """Return the node named ``name``.
+
+        Raises:
+            SchemaError: if the element is not declared in this tree.
+        """
+        try:
+            return self._nodes[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown element {name!r}") from exc
+
+    def element_names(self) -> list[str]:
+        """All element names, in document (pre-) order."""
+        return [node.name for node in self.iter_nodes()]
+
+    def iter_nodes(self) -> Iterator[SchemaNode]:
+        """Iterate all nodes in pre-order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def parent_name(self, name: str) -> str | None:
+        """Name of the parent element, or ``None`` for the root."""
+        self.node(name)
+        return self._parents[name]
+
+    def parent_of(self, name: str) -> SchemaNode | None:
+        """Parent node, or ``None`` for the root."""
+        parent = self.parent_name(name)
+        return None if parent is None else self._nodes[parent]
+
+    def depth(self, name: str) -> int:
+        """Root depth 0, children 1, and so on."""
+        self.node(name)
+        return self._depths[name]
+
+    def is_ancestor(self, ancestor: str, descendant: str) -> bool:
+        """True if ``ancestor`` lies strictly above ``descendant``."""
+        current = self.parent_name(descendant)
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self._parents[current]
+        return False
+
+    def path(self, name: str) -> list[str]:
+        """Element names from the root down to ``name`` (inclusive)."""
+        chain = [name]
+        current = self.parent_name(name)
+        while current is not None:
+            chain.append(current)
+            current = self._parents[current]
+        chain.reverse()
+        return chain
+
+    def subtree_names(self, name: str) -> frozenset[str]:
+        """Names of all elements in the full subtree rooted at ``name``."""
+        names: list[str] = []
+        stack = [self.node(name)]
+        while stack:
+            node = stack.pop()
+            names.append(node.name)
+            stack.extend(node.children)
+        return frozenset(names)
+
+    # -- structure checks used by fragments ------------------------------
+
+    def is_connected(self, names: frozenset[str] | set[str]) -> bool:
+        """True if ``names`` forms a connected subgraph of the tree.
+
+        Equivalently: exactly one element of the set has its parent
+        outside the set (or is the root).
+        """
+        if not names:
+            return False
+        tops = 0
+        for name in names:
+            parent = self.parent_name(name)
+            if parent is None or parent not in names:
+                tops += 1
+        return tops == 1
+
+    def top_of(self, names: frozenset[str] | set[str]) -> str:
+        """Return the unique topmost element of a connected name set.
+
+        Raises:
+            SchemaError: if the set is empty or not connected.
+        """
+        tops = [
+            name
+            for name in names
+            if (parent := self.parent_name(name)) is None
+            or parent not in names
+        ]
+        if len(tops) != 1:
+            raise SchemaError(
+                f"element set {sorted(names)} is not a connected subtree"
+            )
+        return tops[0]
+
+    def has_repeated_below(self, root_name: str,
+                           names: frozenset[str] | set[str]) -> bool:
+        """True if any element of ``names`` other than ``root_name`` is
+        repeated (``*``/``+``) — i.e. the set is not *flat-storable*
+        as a single relational row per root occurrence."""
+        for name in names:
+            if name == root_name:
+                continue
+            if self.node(name).cardinality.repeated:
+                return True
+        return False
+
+    # -- pretty printing --------------------------------------------------
+
+    def sketch(self) -> str:
+        """Return an indented one-line-per-element sketch of the tree."""
+        lines: list[str] = []
+
+        def walk(node: SchemaNode, depth: int) -> None:
+            suffix = node.cardinality.value
+            attrs = f" @{','.join(node.attributes)}" if node.attributes else ""
+            lines.append("  " * depth + node.name + suffix + attrs)
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Validate documents and fragment instances against schema trees.
+
+The paper's systems exchange documents "that conform to the XML Schema
+specified in the WSDL definition"; this module makes conformance
+checkable.  Violations are collected (not raised one at a time) so a
+consumer can report everything wrong with an incoming feed at once.
+
+Checked per element occurrence:
+
+* the element is declared, and declared *under its parent*;
+* child groups respect cardinality (missing required child, repeated
+  singleton child);
+* children appear in schema order (no interleaving violations are
+  possible in the grouped representation, so order means group order);
+* only declared attributes appear;
+* text only on schema leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fragment import Fragment
+from repro.core.instance import ElementData, FragmentInstance
+from repro.schema.model import SchemaTree
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One conformance problem."""
+
+    element: str
+    eid: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"<{self.element} eid={self.eid}>: {self.message}"
+
+
+def validate_document(schema: SchemaTree,
+                      root: ElementData) -> list[Violation]:
+    """All conformance violations of a document (empty = conforming)."""
+    violations: list[Violation] = []
+    if root.name != schema.root.name:
+        violations.append(
+            Violation(
+                root.name, root.eid,
+                f"root must be <{schema.root.name}>",
+            )
+        )
+        return violations
+    _validate_node(schema, root, violations)
+    return violations
+
+
+def _validate_node(schema: SchemaTree, node: ElementData,
+                   violations: list[Violation]) -> None:
+    if node.name not in schema:
+        violations.append(
+            Violation(node.name, node.eid, "undeclared element")
+        )
+        return
+    declared = schema.node(node.name)
+    declared_children = {child.name for child in declared.children}
+    declared_attributes = set(declared.attributes)
+
+    for attribute in node.attrs:
+        if attribute not in declared_attributes:
+            violations.append(
+                Violation(
+                    node.name, node.eid,
+                    f"undeclared attribute {attribute!r}",
+                )
+            )
+    if node.text and not declared.is_leaf:
+        violations.append(
+            Violation(
+                node.name, node.eid,
+                "text content on a non-leaf element",
+            )
+        )
+    for child_name, group in node.children.items():
+        if child_name not in declared_children:
+            violations.append(
+                Violation(
+                    node.name, node.eid,
+                    f"child <{child_name}> is not declared under "
+                    f"<{node.name}>",
+                )
+            )
+            continue
+        cardinality = declared.child(child_name).cardinality
+        if len(group) > 1 and not cardinality.repeated:
+            violations.append(
+                Violation(
+                    node.name, node.eid,
+                    f"child <{child_name}> occurs {len(group)} times "
+                    f"but is declared {cardinality.name}",
+                )
+            )
+        for child in group:
+            _validate_node(schema, child, violations)
+    for child in declared.children:
+        # ONE and PLUS demand at least one occurrence.
+        if not child.cardinality.optional \
+                and not node.children.get(child.name):
+            violations.append(
+                Violation(
+                    node.name, node.eid,
+                    f"required child <{child.name}> is missing",
+                )
+            )
+
+
+def validate_instance(instance: FragmentInstance) -> list[Violation]:
+    """Violations of a fragment instance against its fragment.
+
+    Rows are validated against the *pruned* subtree: elements outside
+    the fragment are violations even when the schema declares them, and
+    required children pruned into other fragments are not demanded.
+    """
+    fragment = instance.fragment
+    schema = fragment.schema
+    violations: list[Violation] = []
+    for row in instance.rows:
+        if row.data.name != fragment.root_name:
+            violations.append(
+                Violation(
+                    row.data.name, row.data.eid,
+                    f"row root must be <{fragment.root_name}>",
+                )
+            )
+            continue
+        _validate_fragment_node(fragment, schema, row.data, violations)
+    return violations
+
+
+def _validate_fragment_node(fragment: Fragment, schema: SchemaTree,
+                            node: ElementData,
+                            violations: list[Violation]) -> None:
+    declared = schema.node(node.name)
+    in_fragment = {
+        child.name for child in fragment.children_of(node.name)
+    }
+    for child_name, group in node.children.items():
+        if child_name not in in_fragment:
+            violations.append(
+                Violation(
+                    node.name, node.eid,
+                    f"child <{child_name}> lies outside fragment "
+                    f"{fragment.name!r}",
+                )
+            )
+            continue
+        cardinality = declared.child(child_name).cardinality
+        if len(group) > 1 and not cardinality.repeated:
+            violations.append(
+                Violation(
+                    node.name, node.eid,
+                    f"child <{child_name}> occurs {len(group)} times "
+                    f"but is declared {cardinality.name}",
+                )
+            )
+        for child in group:
+            _validate_fragment_node(fragment, schema, child, violations)
+    for child in fragment.children_of(node.name):
+        if not child.cardinality.optional \
+                and not node.children.get(child.name):
+            violations.append(
+                Violation(
+                    node.name, node.eid,
+                    f"required child <{child.name}> is missing",
+                )
+            )

@@ -1,0 +1,119 @@
+"""Parse the WSDL-embedded XML Schema dialect into schema trees.
+
+Figure 1's WSDL carries the agreed schema as nested ``<element>``
+declarations (with ``<sequence>`` wrappers, ``type="string"`` leaves,
+``maxOccurs="unbounded"`` repetition and ``<attribute>`` declarations).
+:func:`parse_xsd_element` turns such a declaration into a
+:class:`~repro.schema.model.SchemaTree`, so a system can join an
+exchange knowing only the WSDL document — no out-of-band DTD needed.
+
+Supported subset (matching what the paper's documents use): nested
+element declarations, ``sequence`` groups, ``minOccurs``/``maxOccurs``
+(0/1/unbounded), string-typed leaves and attributes.  ``choice``/
+``all`` groups and named type references are out of scope and raise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema.model import Cardinality, SchemaNode, SchemaTree
+from repro.xmlkit.tree import Element
+
+
+def _cardinality(declaration: Element) -> Cardinality:
+    min_occurs = declaration.get("minOccurs", "1") or "1"
+    max_occurs = declaration.get("maxOccurs", "1") or "1"
+    repeated = max_occurs == "unbounded" or (
+        max_occurs.isdigit() and int(max_occurs) > 1
+    )
+    optional = min_occurs == "0"
+    if repeated:
+        # WSDL's bare maxOccurs="unbounded" (Figure 1 writes no
+        # minOccurs) conventionally means zero-or-more.
+        return Cardinality.MANY if optional or min_occurs == "1" \
+            else Cardinality.PLUS
+    if optional:
+        return Cardinality.OPT
+    return Cardinality.ONE
+
+
+def _parse_node(declaration: Element) -> SchemaNode:
+    name = declaration.get("name")
+    if not name:
+        raise SchemaError("XSD element declaration without a name")
+    node = SchemaNode(name, _cardinality(declaration))
+    for child in declaration.children:
+        local = child.local_name()
+        if local == "attribute":
+            attribute = child.get("name")
+            if not attribute:
+                raise SchemaError(
+                    f"attribute of {name!r} has no name"
+                )
+            # The paper's ID/PARENT exposure belongs to fragments, not
+            # to the agreed schema; skip it when round-tripping
+            # fragment declarations.
+            if attribute not in ("ID", "PARENT"):
+                node.attributes.append(attribute)
+        elif local == "sequence":
+            for grandchild in child.children:
+                if grandchild.local_name() == "element":
+                    node.children.append(_parse_node(grandchild))
+                else:
+                    raise SchemaError(
+                        f"unsupported construct "
+                        f"<{grandchild.name}> inside sequence of "
+                        f"{name!r}"
+                    )
+        elif local == "element":
+            node.children.append(_parse_node(child))
+        elif local in ("choice", "all"):
+            raise SchemaError(
+                f"<{local}> groups are not supported (element "
+                f"{name!r})"
+            )
+        else:
+            raise SchemaError(
+                f"unsupported construct <{child.name}> in element "
+                f"{name!r}"
+            )
+    return node
+
+
+def parse_xsd_element(declaration: Element) -> SchemaTree:
+    """Parse a top-level ``<element>`` declaration into a schema tree.
+
+    Raises:
+        SchemaError: on unsupported constructs or missing names.
+    """
+    if declaration.local_name() != "element":
+        raise SchemaError(
+            f"expected an <element> declaration, got "
+            f"<{declaration.name}>"
+        )
+    root = _parse_node(declaration)
+    root.cardinality = Cardinality.ONE  # documents have one root
+    return SchemaTree(root)
+
+
+def parse_xsd_schema(schema_element: Element) -> SchemaTree:
+    """Parse a ``<schema>`` element (as embedded in WSDL ``<types>``)
+    holding exactly one top-level element declaration.
+
+    Raises:
+        SchemaError: if the schema declares zero or several roots.
+    """
+    if schema_element.local_name() != "schema":
+        raise SchemaError(
+            f"expected a <schema> element, got <{schema_element.name}>"
+        )
+    declarations = [
+        child for child in schema_element.children
+        if child.local_name() == "element"
+    ]
+    if len(declarations) != 1:
+        raise SchemaError(
+            "the agreed schema must declare exactly one root element; "
+            f"found {len(declarations)}"
+        )
+    return parse_xsd_element(declarations[0])

@@ -1,0 +1,40 @@
+"""The Web-services layer (Figure 2).
+
+* :mod:`repro.services.endpoint` — the systems at each end of the
+  exchange: they execute Scans/Writes over their own stores and expose
+  the cost-probe interface,
+* :mod:`repro.services.agency` — the discovery agency middleware:
+  registers WSDL + fragmentations, derives the mapping and the data
+  transfer program, optimizes it and assigns locations,
+* :mod:`repro.services.exchange` — end-to-end runs: the optimized data
+  exchange (steps 1–5 of Section 5.2) and the publish&map baseline
+  (steps 1–6 of Section 5.1), with per-step timings for Figure 9.
+"""
+
+from repro.services.agency import DiscoveryAgency, ExchangePlan
+from repro.services.endpoint import (
+    DirectoryEndpoint,
+    InMemoryEndpoint,
+    RelationalEndpoint,
+    SystemEndpoint,
+)
+from repro.services.selection import SelectiveEndpoint, ServiceArgument
+from repro.services.exchange import (
+    ExchangeOutcome,
+    run_optimized_exchange,
+    run_publish_and_map,
+)
+
+__all__ = [
+    "SystemEndpoint",
+    "RelationalEndpoint",
+    "InMemoryEndpoint",
+    "DirectoryEndpoint",
+    "SelectiveEndpoint",
+    "ServiceArgument",
+    "DiscoveryAgency",
+    "ExchangePlan",
+    "ExchangeOutcome",
+    "run_optimized_exchange",
+    "run_publish_and_map",
+]

@@ -1,0 +1,242 @@
+"""The discovery agency — the middleware of Figure 2.
+
+Systems register their WSDL (with the fragmentation extension, step 1);
+on a negotiation request the agency derives the source → target mapping
+and data transfer program (step 2), probes the endpoints' cost
+interfaces (step 3), and returns a plan assigning each operation a
+location (step 4).  The agency never sees the systems' internal data
+structures — only fragmentations and the cost probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NegotiationError
+from repro.core.cost.model import CostWeights
+from repro.core.cost.probe import CostProbe, EndpointProbe
+from repro.core.fragmentation import Fragmentation
+from repro.core.mapping import Mapping, derive_mapping
+from repro.core.optimizer.exhaustive import cost_based_optim
+from repro.core.optimizer.search import (
+    OptimizationResult,
+    greedy_exchange,
+    optimal_exchange,
+)
+from repro.core.program.builder import build_transfer_program
+from repro.core.program.dag import Placement, TransferProgram
+from repro.net.transport import SimulatedChannel
+from repro.schema.model import SchemaTree
+from repro.services.endpoint import SystemEndpoint
+from repro.wsdl.extension import (
+    fragmentation_from_element,
+    fragmentation_to_element,
+)
+from repro.wsdl.model import Definitions, Port, Service, serialize_wsdl
+
+#: The optimizer strategies negotiate() accepts.
+OPTIMIZERS = ("greedy", "optimal", "canonical")
+
+
+@dataclass(slots=True)
+class Registration:
+    """One registered system."""
+
+    name: str
+    fragmentation: Fragmentation
+    endpoint: SystemEndpoint | None
+    wsdl: Definitions
+    wsdl_text: str
+
+
+@dataclass(slots=True)
+class ExchangePlan:
+    """The agency's answer to a negotiation request."""
+
+    source_name: str
+    target_name: str
+    mapping: Mapping
+    program: TransferProgram
+    placement: Placement
+    estimated_cost: float
+    optimizer: str
+    optimizer_seconds: float
+
+    def annotate(self) -> TransferProgram:
+        """Write the placement onto the program and return it."""
+        self.program.apply_placement(self.placement)
+        return self.program
+
+
+class DiscoveryAgency:
+    """Registry plus negotiation logic for one agreed XML Schema."""
+
+    def __init__(self, schema: SchemaTree,
+                 service_name: str = "DataExchangeService") -> None:
+        self.schema = schema
+        self.service_name = service_name
+        self._registry: dict[str, Registration] = {}
+
+    # -- registration (step 1) ----------------------------------------------------
+
+    def register(self, name: str,
+                 fragmentation: Fragmentation | None = None,
+                 endpoint: SystemEndpoint | None = None) -> Registration:
+        """Register a system.
+
+        A system that provides no fragmentation gets the whole-document
+        default (publish&map behaviour, Section 1.1).  The stored WSDL
+        document embeds the fragmentation extension.
+
+        Raises:
+            NegotiationError: on duplicate names or foreign schemas.
+        """
+        if name in self._registry:
+            raise NegotiationError(f"system {name!r} already registered")
+        if fragmentation is None:
+            fragmentation = Fragmentation.whole_document(
+                self.schema, f"{name}-default"
+            )
+        if fragmentation.schema is not self.schema:
+            raise NegotiationError(
+                f"fragmentation {fragmentation.name!r} is over a "
+                "different schema than this agency's"
+            )
+        wsdl = Definitions(
+            name=f"{self.service_name}-{name}",
+            target_namespace=f"http://{name}.example/wsdl",
+            types=[fragmentation_to_element(fragmentation)],
+            services=[
+                Service(
+                    self.service_name,
+                    documentation=(
+                        f"Fragment exchange endpoint of system {name}"
+                    ),
+                    ports=[
+                        Port(
+                            f"{self.service_name}Port",
+                            f"tns:{self.service_name}Binding",
+                            f"http://{name}.example/exchange",
+                        )
+                    ],
+                )
+            ],
+        )
+        registration = Registration(
+            name, fragmentation, endpoint, wsdl, serialize_wsdl(wsdl)
+        )
+        self._registry[name] = registration
+        return registration
+
+    def register_wsdl(self, name: str, wsdl_text: str,
+                      endpoint: SystemEndpoint | None = None
+                      ) -> Registration:
+        """Register from a serialized WSDL document carrying the
+        fragmentation extension (what remote systems actually send).
+
+        Raises:
+            NegotiationError: if the document has no fragmentation.
+        """
+        from repro.wsdl.model import parse_wsdl
+
+        definitions = parse_wsdl(wsdl_text)
+        extension = definitions.find_extension("fragmentation")
+        if extension is None:
+            raise NegotiationError(
+                f"WSDL for {name!r} carries no <fragmentation> extension"
+            )
+        fragmentation = fragmentation_from_element(extension, self.schema)
+        if name in self._registry:
+            raise NegotiationError(f"system {name!r} already registered")
+        registration = Registration(
+            name, fragmentation, endpoint, definitions, wsdl_text
+        )
+        self._registry[name] = registration
+        return registration
+
+    def registration(self, name: str) -> Registration:
+        """Look up a registered system.
+
+        Raises:
+            NegotiationError: if unknown.
+        """
+        try:
+            return self._registry[name]
+        except KeyError as exc:
+            raise NegotiationError(
+                f"system {name!r} is not registered"
+            ) from exc
+
+    def registered_names(self) -> list[str]:
+        """Names of all registered systems, sorted."""
+        return sorted(self._registry)
+
+    # -- negotiation (steps 2-4) ------------------------------------------------------
+
+    def negotiate(self, source_name: str, target_name: str, *,
+                  optimizer: str = "greedy",
+                  probe: CostProbe | None = None,
+                  channel: SimulatedChannel | None = None,
+                  weights: CostWeights | None = None,
+                  order_limit: int | None = None) -> ExchangePlan:
+        """Produce an exchange plan between two registered systems.
+
+        ``probe`` defaults to probing the two endpoints' cost
+        interfaces through ``channel`` (both must then be present);
+        pass an explicit probe (e.g. a CostModel) to negotiate without
+        live endpoints.
+
+        Raises:
+            NegotiationError: for unknown systems/optimizers or missing
+                probes.
+        """
+        source = self.registration(source_name)
+        target = self.registration(target_name)
+        if optimizer not in OPTIMIZERS:
+            raise NegotiationError(
+                f"unknown optimizer {optimizer!r}; expected one of "
+                f"{OPTIMIZERS}"
+            )
+        if probe is None:
+            probe = self._endpoint_probe(source, target, channel)
+        mapping = derive_mapping(
+            source.fragmentation, target.fragmentation
+        )
+        if optimizer == "greedy":
+            result = greedy_exchange(mapping, probe, weights)
+        elif optimizer == "optimal":
+            result = optimal_exchange(
+                mapping, probe, weights, order_limit
+            )
+        else:  # canonical order + Algorithm 1 placement
+            program = build_transfer_program(mapping)
+            placement, cost = cost_based_optim(program, probe, weights)
+            result = OptimizationResult(program, placement, cost, 1, 0.0)
+        return ExchangePlan(
+            source_name,
+            target_name,
+            mapping,
+            result.program,
+            result.placement,
+            result.cost,
+            optimizer,
+            result.elapsed_seconds,
+        )
+
+    def _endpoint_probe(self, source: Registration,
+                        target: Registration,
+                        channel: SimulatedChannel | None) -> CostProbe:
+        if source.endpoint is None or target.endpoint is None:
+            raise NegotiationError(
+                "negotiation needs either an explicit probe or two "
+                "registered endpoints"
+            )
+        if channel is None:
+            raise NegotiationError(
+                "endpoint probing needs the channel for comm costs"
+            )
+        statistics = source.endpoint.statistics()
+        target.endpoint.use_statistics(statistics)
+        return EndpointProbe(
+            source.endpoint, target.endpoint, channel, statistics
+        )

@@ -1,0 +1,110 @@
+"""Computed fragments — fragments backed by service calls (Section 1.1).
+
+    "The lowest granularity of a fragment is a single element in the
+    XML Schema.  However, a fragment could correspond to the result of
+    a service call.  For instance, S could provide a fragment that
+    defines a service, TotalMRCService, standing for the total monthly
+    recurring charges for all lines ordered by a customer, without
+    revealing how this fragment is computed."
+
+:class:`ComputedFragmentSource` wraps any source endpoint: fragments
+registered with a *provider* are produced by calling it (typically a
+SQL aggregate over the system's internal tables — see
+:func:`sql_provider`); everything else scans through to the wrapped
+endpoint.  The middleware sees an ordinary fragment either way — how it
+is computed stays hidden behind the endpoint, exactly as the paper
+requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import EndpointError
+from repro.core.fragment import Fragment
+from repro.core.instance import ElementData, FragmentInstance, FragmentRow
+from repro.core.ops.base import Operation
+from repro.core.ops.scan import Scan
+from repro.relational.engine import Database
+from repro.services.endpoint import SystemEndpoint
+
+#: Produces the instance of one computed fragment on demand.
+FragmentProvider = Callable[[Fragment], FragmentInstance]
+
+
+class ComputedFragmentSource(SystemEndpoint):
+    """A source endpoint with service-backed fragments."""
+
+    def __init__(self, inner: SystemEndpoint,
+                 providers: dict[str, FragmentProvider]) -> None:
+        super().__init__(f"{inner.name}+computed", inner.machine)
+        self.inner = inner
+        self.providers = dict(providers)
+
+    def scan(self, fragment: Fragment) -> FragmentInstance:
+        provider = self.providers.get(fragment.name)
+        if provider is not None:
+            instance = provider(fragment)
+            if instance.fragment.elements != fragment.elements:
+                raise EndpointError(
+                    f"provider for {fragment.name!r} produced an "
+                    f"instance of {instance.fragment.name!r}"
+                )
+            return instance
+        return self.inner.scan(fragment)
+
+    def write(self, fragment: Fragment,
+              instance: FragmentInstance) -> None:
+        self.inner.write(fragment, instance)
+
+    def estimate_cost(self, op: Operation) -> float:
+        """Computed fragments answer probes like stored ones — the
+        middleware cannot tell the difference (and should not)."""
+        if (isinstance(op, Scan)
+                and op.fragment.name in self.providers):
+            # A service call is priced as a scan of its output.
+            return self.inner.estimate_cost(op)
+        return self.inner.estimate_cost(op)
+
+
+def sql_provider(db: Database, sql: str, *,
+                 eid_start: int = 1_000_000) -> FragmentProvider:
+    """Build a provider for a single-leaf fragment from a SQL query.
+
+    The query must return ``(parent_eid, value)`` rows; each becomes
+    one fragment row whose root element carries the value as text.
+    Fresh element ids are allocated from ``eid_start`` upward (service
+    results are new data, not stored occurrences).
+
+    The TotalMRC example::
+
+        provider = sql_provider(
+            source_db,
+            "SELECT custkey, SUM(mrc) FROM charges GROUP BY custkey",
+        )
+    """
+
+    def provide(fragment: Fragment) -> FragmentInstance:
+        if len(fragment.elements) != 1:
+            raise EndpointError(
+                "sql_provider only serves single-element fragments; "
+                f"{fragment.name!r} has {len(fragment.elements)}"
+            )
+        result = db.execute(sql)
+        if len(result.columns) != 2:
+            raise EndpointError(
+                "a fragment provider query must return "
+                "(parent_eid, value) rows"
+            )
+        rows = []
+        next_eid = eid_start
+        for parent_eid, value in result.rows:
+            data = ElementData(
+                fragment.root_name, next_eid,
+                text="" if value is None else str(value),
+            )
+            rows.append(FragmentRow(data, int(parent_eid)))
+            next_eid += 1
+        return FragmentInstance(fragment, rows)
+
+    return provide

@@ -1,0 +1,329 @@
+"""System endpoints: the source and target of an exchange.
+
+An endpoint owns a store (relational database, directory, or plain
+memory), implements ``Scan``/``Write`` over it (Defs. 3.6/3.9 — each
+system its own way, hidden behind the WSDL interface), and answers cost
+probes (Figure 2, step 3) by pricing operations against its statistics
+and machine profile with the same ``operation_work`` units the
+middleware's models use.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import EndpointError
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import (
+    INFINITE_COST,
+    MachineProfile,
+    operation_work,
+)
+from repro.core.fragment import Fragment
+from repro.core.fragmentation import Fragmentation
+from repro.core.instance import ElementData, FragmentInstance
+from repro.core.ops.base import Operation
+from repro.core.ops.combine import Combine
+from repro.core.ops.split import Split
+from repro.core.ops.write import Write
+from repro.directory.store import DirectoryStore, ObjectClass
+from repro.relational.engine import Database
+from repro.relational.frag_store import FragmentRelationMapper
+
+
+class SystemEndpoint(abc.ABC):
+    """Base class: store-backed Scan/Write plus the cost interface."""
+
+    def __init__(self, name: str,
+                 machine: MachineProfile | None = None) -> None:
+        self.name = name
+        self.machine = machine or MachineProfile(name)
+        self._statistics: StatisticsCatalog | None = None
+
+    # -- data interface (used by the program executor) ---------------------
+
+    @abc.abstractmethod
+    def scan(self, fragment: Fragment) -> FragmentInstance:
+        """Produce the stored instance of ``fragment``."""
+
+    @abc.abstractmethod
+    def write(self, fragment: Fragment,
+              instance: FragmentInstance) -> None:
+        """Store ``instance``."""
+
+    # -- statistics ----------------------------------------------------------
+
+    def use_statistics(self, statistics: StatisticsCatalog) -> None:
+        """Adopt a statistics catalog (the agency shares the source's
+        statistics with the target during negotiation)."""
+        self._statistics = statistics
+
+    def statistics(self) -> StatisticsCatalog:
+        """The catalog used to answer cost probes.
+
+        Raises:
+            EndpointError: if no statistics are available yet.
+        """
+        if self._statistics is None:
+            raise EndpointError(
+                f"endpoint {self.name!r} has no statistics; call "
+                "use_statistics() or refresh_statistics() first"
+            )
+        return self._statistics
+
+    # -- cost interface (Figure 2, step 3) ---------------------------------------
+
+    def estimate_cost(self, op: Operation) -> float:
+        """Cost of executing ``op`` here (the probe interface)."""
+        if isinstance(op, Combine) and not self.machine.can_combine:
+            return INFINITE_COST
+        if isinstance(op, Split) and not self.machine.can_split:
+            return INFINITE_COST
+        work = operation_work(op, self.statistics())
+        if isinstance(op, Write):
+            work *= self.machine.index_factor
+        return work / self.machine.speed
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class RelationalEndpoint(SystemEndpoint):
+    """An endpoint backed by the relational engine (the paper's MySQL
+    systems), storing one registered fragmentation."""
+
+    def __init__(self, name: str, fragmentation: Fragmentation,
+                 machine: MachineProfile | None = None,
+                 db: Database | None = None) -> None:
+        super().__init__(name, machine)
+        self.fragmentation = fragmentation
+        self.db = db or Database(name)
+        self.mapper = FragmentRelationMapper(fragmentation)
+        for fragment in fragmentation:
+            if not self.db.has_table(self.mapper.table_name(fragment)):
+                self.db.create_table(
+                    self.mapper.layout_for(fragment).table_schema()
+                )
+
+    # -- data ----------------------------------------------------------------------
+
+    def load_document(self, document: ElementData) -> int:
+        """Initial population from an in-memory document."""
+        loaded = self.mapper.load_document(self.db, document)
+        self.refresh_statistics()
+        return loaded
+
+    def scan(self, fragment: Fragment) -> FragmentInstance:
+        return self.mapper.scan_fragment(self.db, fragment)
+
+    def write(self, fragment: Fragment,
+              instance: FragmentInstance) -> None:
+        self.mapper.load_instance(self.db, fragment, instance)
+
+    def build_indexes(self) -> int:
+        """Create/refresh the standard indexes (the separately timed
+        step of Table 4); returns indexes built."""
+        return self.mapper.create_indexes(self.db)
+
+    def reset_storage(self) -> None:
+        """Empty all fragment tables (fresh target before a run)."""
+        self.mapper.truncate_all(self.db)
+
+    def total_rows(self) -> int:
+        """Rows across the fragment tables."""
+        return self.db.total_rows()
+
+    # -- statistics --------------------------------------------------------------------
+
+    def refresh_statistics(self) -> StatisticsCatalog:
+        """Measure statistics from the stored data."""
+        catalog = statistics_from_store(self.db, self.mapper)
+        self.use_statistics(catalog)
+        return catalog
+
+
+class InMemoryEndpoint(SystemEndpoint):
+    """A minimal endpoint holding fragment instances in a dict (tests,
+    and systems that are pure producers/consumers of feeds)."""
+
+    def __init__(self, name: str,
+                 machine: MachineProfile | None = None) -> None:
+        super().__init__(name, machine)
+        self.store: dict[str, FragmentInstance] = {}
+
+    def put(self, instance: FragmentInstance) -> None:
+        """Seed the store with an instance (keyed by fragment name)."""
+        self.store[instance.fragment.name] = instance
+
+    def scan(self, fragment: Fragment) -> FragmentInstance:
+        try:
+            stored = self.store[fragment.name]
+        except KeyError as exc:
+            raise EndpointError(
+                f"{self.name!r} stores no fragment {fragment.name!r}"
+            ) from exc
+        return stored.copy()
+
+    def write(self, fragment: Fragment,
+              instance: FragmentInstance) -> None:
+        self.store[fragment.name] = instance
+
+
+class DirectoryEndpoint(SystemEndpoint):
+    """An endpoint backed by the LDAP-like directory (the motivating
+    example's provisioning system).
+
+    Each fragment maps to an object class named ``<fragment>_T`` whose
+    attributes are the fragment's leaf elements and XML attributes;
+    each written row becomes an entry under its parent row's entry
+    (PARENT references resolve through a shared eid → DN map).
+    """
+
+    def __init__(self, name: str, fragmentation: Fragmentation,
+                 machine: MachineProfile | None = None,
+                 store: DirectoryStore | None = None) -> None:
+        super().__init__(name, machine)
+        self.fragmentation = fragmentation
+        self.store = store or DirectoryStore(name)
+        self._dn_by_eid: dict[int, tuple[int, ...]] = {}
+        self._written: dict[str, FragmentInstance] = {}
+        self._materialized = False
+        for fragment in fragmentation:
+            leaves = tuple(
+                leaf.lower() for leaf in fragment.leaf_elements()
+            )
+            self.store.define_class(
+                ObjectClass(self._class_name(fragment), leaves)
+            )
+
+    @staticmethod
+    def _class_name(fragment: Fragment) -> str:
+        return f"{fragment.root_name.upper()}_T"
+
+    def scan(self, fragment: Fragment) -> FragmentInstance:
+        try:
+            return self._written[fragment.name].copy()
+        except KeyError as exc:
+            raise EndpointError(
+                f"directory {self.name!r} holds no fragment "
+                f"{fragment.name!r}"
+            ) from exc
+
+    def write(self, fragment: Fragment,
+              instance: FragmentInstance) -> None:
+        """Accept a fragment feed.
+
+        Entries are materialized lazily (:meth:`materialize`): Writes
+        arrive in whatever order the program executes them, and a child
+        fragment can land before the fragment holding its parent
+        entries — the directory tree can only be built parent-first.
+        """
+        self._written[fragment.name] = instance
+        self._materialized = False
+
+    def materialize(self) -> DirectoryStore:
+        """(Re)build the directory tree from every written fragment.
+
+        Rows are inserted parents-before-children across fragments;
+        nested element ids are registered so child fragments anchored
+        at inner elements resolve too.
+
+        Raises:
+            EndpointError: if rows reference parents that were never
+                written (orphans).
+        """
+        if self._materialized:
+            return self.store
+        self.store = DirectoryStore(self.name)
+        for fragment in self.fragmentation:
+            leaves = tuple(
+                leaf.lower() for leaf in fragment.leaf_elements()
+            )
+            self.store.define_class(
+                ObjectClass(self._class_name(fragment), leaves)
+            )
+        self._dn_by_eid = {}
+        pending = [
+            (self._class_name(instance.fragment), row)
+            for instance in self._written.values()
+            for row in instance.rows
+        ]
+        while pending:
+            progressed = False
+            deferred = []
+            for class_name, row in pending:
+                if row.parent is not None \
+                        and row.parent not in self._dn_by_eid:
+                    deferred.append((class_name, row))
+                    continue
+                attrs: dict[str, str] = {}
+                for node in row.data.iter_all():
+                    if node.text:
+                        attrs[node.name.lower()] = node.text
+                    for attribute, value in node.attrs.items():
+                        attrs[
+                            f"{node.name.lower()}_{attribute.lower()}"
+                        ] = value
+                parent_dn = (
+                    self._dn_by_eid[row.parent]
+                    if row.parent is not None else ()
+                )
+                dn = self.store.add_entry(parent_dn, class_name, attrs)
+                for node in row.data.iter_all():
+                    self._dn_by_eid[node.eid] = dn
+                progressed = True
+            if not progressed:
+                raise EndpointError(
+                    f"directory {self.name!r}: {len(deferred)} rows "
+                    "reference parents that were never written"
+                )
+            pending = deferred
+        self._materialized = True
+        return self.store
+
+
+def statistics_from_store(db: Database,
+                          mapper: FragmentRelationMapper
+                          ) -> StatisticsCatalog:
+    """Measure per-element occurrence counts and widths from the
+    fragment tables (what a live source system answers probes with)."""
+    schema = mapper.fragmentation.schema
+    counts: dict[str, float] = {
+        name: 0.0 for name in schema.element_names()
+    }
+    value_bytes: dict[str, float] = {
+        name: 0.0 for name in schema.element_names()
+    }
+    attr_tag_bytes: dict[str, float] = {
+        name: 0.0 for name in schema.element_names()
+    }
+    for layout in mapper.layouts.values():
+        table = db.table(layout.table_name)
+        positions = {
+            spec.name: index
+            for index, spec in enumerate(layout.specs)
+        }
+        for row in table.scan():
+            for spec in layout.specs:
+                if spec.element is None:
+                    continue
+                value = row[positions[spec.name]]
+                if spec.role in ("id", "eid") and value is not None:
+                    counts[spec.element] += 1
+                elif spec.role in ("text", "attr") and value is not None:
+                    value_bytes[spec.element] += len(str(value))
+                    if spec.role == "attr":
+                        attr_tag_bytes[spec.element] += (
+                            len(spec.attribute or "") + 4
+                        )
+    widths = {}
+    value_widths = {}
+    for name in counts:
+        tag = 2 * len(name) + 5
+        value = 0.0
+        if counts[name]:
+            value = value_bytes[name] / counts[name]
+            tag += attr_tag_bytes[name] / counts[name]
+        widths[name] = tag + value
+        value_widths[name] = value
+    return StatisticsCatalog(schema, counts, widths, value_widths)

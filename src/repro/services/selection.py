@@ -1,0 +1,143 @@
+"""Service arguments: selection pushed down to the source (Section 3.2).
+
+    "If the Web service takes arguments as input, we assume the source
+    system will filter the data accordingly and provide us with the
+    relevant pieces.  For example, the service CustomerInfoService ...
+    could take an argument that specifies customers location based on
+    their state.  In this case, the ordering application will provide
+    us with customers that reside in that state."
+
+:class:`ServiceArgument` states a predicate over one element's subtree
+(by default: a leaf equals a value); :class:`SelectiveEndpoint` wraps
+any source endpoint and serves *filtered* fragment feeds — rows of the
+argument element that fail the predicate disappear, and the cascade
+removes every descendant fragment row that hangs off a removed subtree,
+so downstream programs see a consistent, smaller world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import EndpointError
+from repro.core.fragment import Fragment
+from repro.core.fragmentation import Fragmentation
+from repro.core.instance import ElementData, FragmentInstance
+from repro.services.endpoint import SystemEndpoint
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceArgument:
+    """Keep only subtrees of ``element`` satisfying ``predicate``."""
+
+    element: str
+    predicate: Callable[[ElementData], bool]
+
+    @classmethod
+    def leaf_equals(cls, element: str, leaf: str,
+                    value: str) -> "ServiceArgument":
+        """The common form: ``element`` kept iff its ``leaf`` text is
+        ``value`` (e.g. customers whose State is 'NJ')."""
+
+        def check(row: ElementData) -> bool:
+            return any(
+                node.text == value
+                for node in row.occurrences_of(leaf)
+            )
+
+        return cls(element, check)
+
+    @classmethod
+    def leaf_contains(cls, element: str, leaf: str,
+                      needle: str) -> "ServiceArgument":
+        """``element`` kept iff its ``leaf`` text contains ``needle``."""
+
+        def check(row: ElementData) -> bool:
+            return any(
+                needle in node.text
+                for node in row.occurrences_of(leaf)
+            )
+
+        return cls(element, check)
+
+
+class SelectiveEndpoint(SystemEndpoint):
+    """A source endpoint that filters its feeds by a service argument.
+
+    The argument element must be a fragment root of the source's
+    fragmentation (the natural case: the service subsets whole business
+    objects).  Filtering cascades: rows of descendant fragments survive
+    only if their PARENT chain still exists.
+    """
+
+    def __init__(self, inner: SystemEndpoint,
+                 fragmentation: Fragmentation,
+                 argument: ServiceArgument) -> None:
+        super().__init__(f"{inner.name}[{argument.element}]",
+                         inner.machine)
+        self.inner = inner
+        self.fragmentation = fragmentation
+        self.argument = argument
+        anchor = fragmentation.fragment_of(argument.element)
+        if anchor.root_name != argument.element:
+            raise EndpointError(
+                f"service argument element {argument.element!r} must "
+                "be a fragment root of the source fragmentation "
+                f"(it is inside {anchor.name!r})"
+            )
+        self._filtered: dict[str, FragmentInstance] | None = None
+
+    # -- the cascade ---------------------------------------------------------
+
+    def _compute(self) -> dict[str, FragmentInstance]:
+        if self._filtered is not None:
+            return self._filtered
+        anchor = self.fragmentation.fragment_of(self.argument.element)
+        anchor_depth = self.fragmentation.schema.depth(
+            anchor.root_name
+        )
+        survivors: set[int] = set()
+        filtered: dict[str, FragmentInstance] = {}
+        # Fragments ordered root-first (Fragmentation sorts by depth).
+        for fragment in self.fragmentation:
+            instance = self.inner.scan(fragment)
+            depth = self.fragmentation.schema.depth(fragment.root_name)
+            if depth < anchor_depth:
+                kept = instance.rows  # above the argument: unaffected
+            elif fragment is anchor:
+                kept = [
+                    row for row in instance.rows
+                    if self.argument.predicate(row.data)
+                ]
+            else:
+                kept = [
+                    row for row in instance.rows
+                    if row.parent in survivors
+                ]
+            for row in kept:
+                for node in row.data.iter_all():
+                    survivors.add(node.eid)
+            filtered[fragment.name] = FragmentInstance(fragment, kept)
+        self._filtered = filtered
+        return filtered
+
+    # -- SystemEndpoint interface ------------------------------------------------
+
+    def scan(self, fragment: Fragment) -> FragmentInstance:
+        try:
+            return self._compute()[fragment.name].copy()
+        except KeyError as exc:
+            raise EndpointError(
+                f"{self.name!r} stores no fragment {fragment.name!r}"
+            ) from exc
+
+    def write(self, fragment: Fragment,
+              instance: FragmentInstance) -> None:
+        raise EndpointError(
+            "a selective endpoint is a read-only source view"
+        )
+
+    def estimate_cost(self, op) -> float:
+        """Probes pass through to the wrapped system."""
+        return self.inner.estimate_cost(op)

@@ -1,0 +1,22 @@
+"""The simulator of Section 5.4.
+
+All algorithms run on the same code base as the live pipeline (the core
+optimizers), but costs are *estimated* through a
+:class:`~repro.core.cost.model.CostModel` instead of measured — exactly
+how the paper's simulator explores configurations (different relative
+machine speeds, random fragmentations) that the two-PC testbed cannot.
+"""
+
+from repro.sim.random_fragmentation import random_fragmentation
+from repro.sim.simulator import (
+    ExchangeSimulator,
+    GreedyQualityTrial,
+    SimulatedCosts,
+)
+
+__all__ = [
+    "random_fragmentation",
+    "ExchangeSimulator",
+    "SimulatedCosts",
+    "GreedyQualityTrial",
+]

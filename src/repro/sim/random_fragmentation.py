@@ -1,0 +1,43 @@
+"""Random valid fragmentations (Section 5.4's random fragment sets)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import FragmentationError
+from repro.core.fragmentation import Fragmentation
+from repro.schema.model import SchemaTree
+
+
+def random_fragmentation(schema: SchemaTree, *, n_fragments: int,
+                         rng: random.Random | None = None,
+                         seed: int | None = None,
+                         name: str = "random") -> Fragmentation:
+    """Draw a uniform random valid fragmentation with exactly
+    ``n_fragments`` fragments.
+
+    A valid fragmentation of a tree schema is determined by its set of
+    fragment roots (the schema root plus any subset of other elements),
+    so we sample ``n_fragments - 1`` distinct non-root elements.
+
+    Raises:
+        FragmentationError: if ``n_fragments`` is out of range.
+        ValueError: if both or neither of ``rng``/``seed`` are given.
+    """
+    if (rng is None) == (seed is None):
+        raise ValueError("pass exactly one of rng= or seed=")
+    if rng is None:
+        rng = random.Random(seed)
+    elements = schema.element_names()
+    if not 1 <= n_fragments <= len(elements):
+        raise FragmentationError(
+            f"n_fragments must be in [1, {len(elements)}], "
+            f"got {n_fragments}"
+        )
+    non_root = [
+        element for element in elements if element != schema.root.name
+    ]
+    extra_roots = rng.sample(non_root, n_fragments - 1)
+    return Fragmentation.from_roots(
+        schema, [schema.root.name, *extra_roots], name
+    )

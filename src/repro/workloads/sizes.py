@@ -1,0 +1,49 @@
+"""Document size ladder and scale handling.
+
+The paper transfers documents of 2.5, 12.5 and 25 MB.  Re-running at
+full size is supported (``REPRO_SCALE=1.0``), but the default scale
+keeps the benchmark suite fast while preserving the paper's exact 1:5:10
+size ratio, which is what the reported *shapes* depend on.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: The paper's document sizes (Section 5), in megabytes.
+DOCUMENT_SIZES_MB: tuple[float, ...] = (2.5, 12.5, 25.0)
+
+#: Default fraction of the paper's sizes used by tests and benches.
+DEFAULT_SCALE = 0.02
+
+
+def current_scale() -> float:
+    """The active scale factor (``REPRO_SCALE`` env var, default 0.02).
+
+    Raises:
+        ValueError: if the variable is set but not a positive float.
+    """
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return DEFAULT_SCALE
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}") from exc
+    if scale <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return scale
+
+
+def scaled_bytes(size_mb: float, scale: float | None = None) -> int:
+    """Target byte size for one ladder entry under the active scale."""
+    if scale is None:
+        scale = current_scale()
+    return int(size_mb * 1_000_000 * scale)
+
+
+def size_label(size_mb: float) -> str:
+    """The paper's label for a ladder entry, e.g. ``2.5MB``."""
+    if size_mb == int(size_mb):
+        return f"{int(size_mb)}MB"
+    return f"{size_mb}MB"

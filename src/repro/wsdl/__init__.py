@@ -1,0 +1,35 @@
+"""WSDL 1.1 (subset) with the paper's fragmentation extension.
+
+:mod:`repro.wsdl.model` covers the parts of WSDL the paper manipulates
+(definitions, embedded XML Schema types, service/port/binding and
+documentation — Figure 1); :mod:`repro.wsdl.extension` adds the
+``<fragmentation>``/``<fragment>`` elements of Section 3.1 with which a
+system advertises the document fragments it is willing to produce or
+consume.
+"""
+
+from repro.wsdl.extension import (
+    fragment_from_element,
+    fragment_to_element,
+    fragmentation_from_element,
+    fragmentation_to_element,
+)
+from repro.wsdl.model import (
+    Definitions,
+    Port,
+    Service,
+    parse_wsdl,
+    serialize_wsdl,
+)
+
+__all__ = [
+    "Definitions",
+    "Service",
+    "Port",
+    "parse_wsdl",
+    "serialize_wsdl",
+    "fragment_to_element",
+    "fragment_from_element",
+    "fragmentation_to_element",
+    "fragmentation_from_element",
+]

@@ -1,0 +1,129 @@
+"""The WSDL fragmentation extension (Section 3.1).
+
+A fragment is advertised in the paper's XSD-like syntax::
+
+    <fragment name="Order_Service.xsd">
+      <element name="Order">
+        <attribute name="ID" type="string"/>
+        <attribute name="PARENT" type="string"/>
+        <element name="Service">
+          <element name="ServiceName" type="string"/>
+        </element>
+      </element>
+    </fragment>
+
+and a fragmentation is a named list of fragments.  Serialization needs
+only the fragment; parsing needs the agreed XML Schema too (to recover
+cardinalities and validate element names), mirroring how the discovery
+agency always interprets fragmentations against the registered schema.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WsdlError
+from repro.core.fragment import Fragment
+from repro.core.fragmentation import Fragmentation
+from repro.schema.model import SchemaTree
+from repro.xmlkit.tree import Element
+
+
+def fragment_to_element(fragment: Fragment) -> Element:
+    """Render one fragment in the paper's extension syntax."""
+    schema = fragment.schema
+
+    def render(element_name: str, is_root: bool) -> Element:
+        node = schema.node(element_name)
+        attrs = {"name": element_name}
+        if node.cardinality.repeated and not is_root:
+            attrs["maxOccurs"] = "unbounded"
+        rendered = Element("element", attrs)
+        if is_root:
+            rendered.append(
+                Element(
+                    "attribute", {"name": "ID", "type": "string"}
+                )
+            )
+            rendered.append(
+                Element(
+                    "attribute", {"name": "PARENT", "type": "string"}
+                )
+            )
+        for attribute in node.attributes:
+            rendered.append(
+                Element(
+                    "attribute",
+                    {"name": attribute, "type": "string"},
+                )
+            )
+        children = fragment.children_of(element_name)
+        if not children and node.is_leaf:
+            rendered.attrs["type"] = "string"
+        for child in children:
+            rendered.append(render(child.name, False))
+        return rendered
+
+    container = Element("fragment", {"name": fragment.name})
+    container.append(render(fragment.root_name, True))
+    return container
+
+
+def fragment_from_element(element: Element,
+                          schema: SchemaTree) -> Fragment:
+    """Parse one ``<fragment>`` element against the agreed schema.
+
+    Raises:
+        WsdlError: on structural problems (no root element, unknown
+            element names are reported by the Fragment constructor).
+    """
+    if element.local_name() != "fragment":
+        raise WsdlError(f"expected <fragment>, got <{element.name}>")
+    roots = element.find_all("element")
+    if len(roots) != 1:
+        raise WsdlError("a fragment declares exactly one root element")
+
+    names: list[str] = []
+
+    def collect(node: Element) -> None:
+        name = node.get("name")
+        if not name:
+            raise WsdlError("fragment element without a name")
+        names.append(name)
+        for child in node.find_all("element"):
+            collect(child)
+
+    collect(roots[0])
+    return Fragment(schema, names, element.get("name"))
+
+
+def fragmentation_to_element(fragmentation: Fragmentation) -> Element:
+    """Render a full fragmentation for registration in ``<types>``."""
+    container = Element(
+        "fragmentation", {"name": fragmentation.name}
+    )
+    for fragment in fragmentation:
+        container.append(fragment_to_element(fragment))
+    return container
+
+
+def fragmentation_from_element(element: Element,
+                               schema: SchemaTree) -> Fragmentation:
+    """Parse a ``<fragmentation>`` element against the agreed schema.
+
+    Validity (Definition 3.4) is checked by the Fragmentation
+    constructor, so an invalid registration fails here.
+
+    Raises:
+        WsdlError: if the element is not a fragmentation.
+        FragmentationError: if the fragmentation is invalid.
+    """
+    if element.local_name() != "fragmentation":
+        raise WsdlError(
+            f"expected <fragmentation>, got <{element.name}>"
+        )
+    fragments = [
+        fragment_from_element(child, schema)
+        for child in element.find_all("fragment")
+    ]
+    return Fragmentation(
+        schema, fragments, element.get("name") or "fragmentation"
+    )

@@ -1,0 +1,51 @@
+"""A small, self-contained XML substrate.
+
+The paper's systems rely on an XML stack (the authors used the Expat C
+parser); this package provides the pure-Python equivalent used everywhere
+in the reproduction:
+
+* :mod:`repro.xmlkit.escape` — entity escaping/unescaping,
+* :mod:`repro.xmlkit.events` — streaming event types,
+* :mod:`repro.xmlkit.parser` — a streaming (SAX-style) event parser,
+* :mod:`repro.xmlkit.tree` — a lightweight element tree,
+* :mod:`repro.xmlkit.writer` — serialization (tree and streaming).
+
+It intentionally supports the subset of XML that the paper's documents use:
+elements, attributes, character data, CDATA sections, comments, processing
+instructions and an (ignored) DOCTYPE declaration.  Namespaces are carried
+as plain prefixed names, which is all WSDL round-tripping needs here.
+"""
+
+from repro.xmlkit.escape import escape_attr, escape_text, unescape
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartElement,
+    XmlDeclaration,
+)
+from repro.xmlkit.parser import ContentHandler, iterparse, push_parse
+from repro.xmlkit.tree import Element, parse_tree
+from repro.xmlkit.writer import XmlStreamWriter, serialize
+
+__all__ = [
+    "escape_attr",
+    "escape_text",
+    "unescape",
+    "Event",
+    "XmlDeclaration",
+    "StartElement",
+    "EndElement",
+    "Characters",
+    "Comment",
+    "ProcessingInstruction",
+    "iterparse",
+    "push_parse",
+    "ContentHandler",
+    "Element",
+    "parse_tree",
+    "serialize",
+    "XmlStreamWriter",
+]

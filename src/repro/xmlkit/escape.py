@@ -1,0 +1,85 @@
+"""Entity escaping and unescaping for XML character data and attributes."""
+
+from __future__ import annotations
+
+from repro.errors import XmlSyntaxError
+
+_NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for use between tags.
+
+    Only ``&``, ``<`` and ``>`` need escaping in content; we escape all
+    three so round-trips are byte-stable.
+    """
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def escape_attr(value: str) -> str:
+    """Escape an attribute value for inclusion in double quotes."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+def unescape(text: str) -> str:
+    """Resolve entity and character references in ``text``.
+
+    Supports the five XML named entities plus decimal (``&#65;``) and
+    hexadecimal (``&#x41;``) character references.
+
+    Raises:
+        XmlSyntaxError: on an unterminated or unknown reference.
+    """
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XmlSyntaxError("unterminated entity reference")
+        name = text[i + 1 : end]
+        if not name:
+            raise XmlSyntaxError("empty entity reference")
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError as exc:
+                raise XmlSyntaxError(
+                    f"bad hexadecimal character reference &{name};"
+                ) from exc
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:], 10)))
+            except ValueError as exc:
+                raise XmlSyntaxError(
+                    f"bad decimal character reference &{name};"
+                ) from exc
+        else:
+            try:
+                out.append(_NAMED_ENTITIES[name])
+            except KeyError as exc:
+                raise XmlSyntaxError(f"unknown entity &{name};") from exc
+        i = end + 1
+    return "".join(out)

@@ -1,0 +1,56 @@
+"""Streaming event types emitted by :func:`repro.xmlkit.parser.iterparse`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class of all parse events."""
+
+
+@dataclass(frozen=True, slots=True)
+class XmlDeclaration(Event):
+    """The ``<?xml ...?>`` declaration at the top of a document."""
+
+    version: str = "1.0"
+    encoding: str | None = None
+    standalone: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class StartElement(Event):
+    """A start tag (or the start half of an empty-element tag)."""
+
+    name: str
+    attrs: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class EndElement(Event):
+    """An end tag (or the end half of an empty-element tag)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Characters(Event):
+    """Character data between tags (entities already resolved)."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class Comment(Event):
+    """An XML comment; ``text`` excludes the delimiters."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessingInstruction(Event):
+    """A processing instruction ``<?target data?>``."""
+
+    target: str
+    data: str

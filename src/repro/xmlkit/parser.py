@@ -1,0 +1,295 @@
+"""A streaming XML parser.
+
+The paper's shredder uses the Expat SAX parser; this module is its
+pure-Python stand-in.  Two entry points are provided:
+
+* :func:`iterparse` — a generator of :mod:`repro.xmlkit.events` events,
+  convenient for pull-style consumers (the tree builder, the WSDL reader).
+* :func:`push_parse` — a SAX-style push API that drives a
+  :class:`ContentHandler`, used by the relational shredder
+  (:mod:`repro.relational.shredder`) exactly like the paper drives Expat.
+
+Supported syntax: the XML declaration, elements with attributes (both
+quote styles), character data with entity/character references, CDATA
+sections, comments, processing instructions, and a DOCTYPE declaration
+whose internal subset is skipped (DTDs are parsed separately by
+:mod:`repro.schema.dtd`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit.escape import unescape
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartElement,
+    XmlDeclaration,
+)
+
+_WS = " \t\r\n"
+
+# Characters that may start an XML name.  This is deliberately the
+# pragmatic ASCII subset plus ':' (prefixed names) and '_' — enough for
+# WSDL, XMark and every document the paper manipulates.
+_NAME_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Character-level scanner with line/column tracking."""
+
+    __slots__ = ("text", "pos", "_line_starts")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self._line_starts: list[int] | None = None
+
+    def _location(self, pos: int | None = None) -> tuple[int, int]:
+        if pos is None:
+            pos = self.pos
+        if self._line_starts is None:
+            starts = [0]
+            idx = self.text.find("\n")
+            while idx != -1:
+                starts.append(idx + 1)
+                idx = self.text.find("\n", idx + 1)
+            self._line_starts = starts
+        starts = self._line_starts
+        lo, hi = 0, len(starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if starts[mid] <= pos:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1, pos - starts[lo] + 1
+
+    def error(self, message: str, pos: int | None = None) -> XmlSyntaxError:
+        line, column = self._location(pos)
+        return XmlSyntaxError(message, line=line, column=column)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.text.startswith(token, self.pos):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_ws(self) -> None:
+        text = self.text
+        pos = self.pos
+        n = len(text)
+        while pos < n and text[pos] in _WS:
+            pos += 1
+        self.pos = pos
+
+    def read_name(self) -> str:
+        text = self.text
+        start = self.pos
+        if start >= len(text) or text[start] not in _NAME_START:
+            raise self.error("expected an XML name")
+        pos = start + 1
+        n = len(text)
+        while pos < n and text[pos] in _NAME_CHARS:
+            pos += 1
+        self.pos = pos
+        return text[start:pos]
+
+    def read_until(self, token: str, what: str) -> str:
+        idx = self.text.find(token, self.pos)
+        if idx == -1:
+            raise self.error(f"unterminated {what}")
+        value = self.text[self.pos : idx]
+        self.pos = idx + len(token)
+        return value
+
+
+def _read_attributes(scanner: _Scanner) -> dict[str, str]:
+    """Read ``name="value"`` pairs up to (but excluding) ``>`` or ``/>``."""
+    attrs: dict[str, str] = {}
+    while True:
+        scanner.skip_ws()
+        ch = scanner.peek()
+        if ch in (">", "/", "?", ""):
+            return attrs
+        name = scanner.read_name()
+        scanner.skip_ws()
+        scanner.expect("=")
+        scanner.skip_ws()
+        quote = scanner.peek()
+        if quote not in ('"', "'"):
+            raise scanner.error("attribute value must be quoted")
+        scanner.pos += 1
+        raw = scanner.read_until(quote, "attribute value")
+        if "<" in raw:
+            raise scanner.error("'<' not allowed in attribute value")
+        if name in attrs:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        attrs[name] = unescape(raw)
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    """Skip a DOCTYPE declaration, including a bracketed internal subset."""
+    scanner.expect("<!DOCTYPE")
+    depth = 0
+    while True:
+        if scanner.at_end():
+            raise scanner.error("unterminated DOCTYPE")
+        ch = scanner.text[scanner.pos]
+        scanner.pos += 1
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            return
+
+
+def iterparse(text: str) -> Iterator[Event]:
+    """Parse ``text`` and yield a stream of events.
+
+    The element structure is validated (tags must nest and match) and
+    exactly one root element is required.
+
+    Raises:
+        XmlSyntaxError: on any well-formedness violation.
+    """
+    scanner = _Scanner(text)
+    stack: list[str] = []
+    seen_root = False
+
+    # Optional XML declaration.
+    scanner.skip_ws()
+    if scanner.startswith("<?xml"):
+        scanner.pos += len("<?xml")
+        attrs = _read_attributes(scanner)
+        scanner.skip_ws()
+        scanner.expect("?>")
+        yield XmlDeclaration(
+            version=attrs.get("version", "1.0"),
+            encoding=attrs.get("encoding"),
+            standalone=attrs.get("standalone"),
+        )
+
+    while not scanner.at_end():
+        if scanner.peek() != "<":
+            start = scanner.pos
+            idx = scanner.text.find("<", start)
+            if idx == -1:
+                idx = len(scanner.text)
+            raw = scanner.text[start:idx]
+            scanner.pos = idx
+            if stack:
+                yield Characters(unescape(raw))
+            elif raw.strip():
+                raise scanner.error(
+                    "character data outside the root element", pos=start
+                )
+            continue
+
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            yield Comment(scanner.read_until("-->", "comment"))
+        elif scanner.startswith("<![CDATA["):
+            if not stack:
+                raise scanner.error("CDATA outside the root element")
+            scanner.pos += len("<![CDATA[")
+            yield Characters(scanner.read_until("]]>", "CDATA section"))
+        elif scanner.startswith("<!DOCTYPE"):
+            if seen_root:
+                raise scanner.error("DOCTYPE after the root element")
+            _skip_doctype(scanner)
+        elif scanner.startswith("<?"):
+            scanner.pos += 2
+            target = scanner.read_name()
+            data = scanner.read_until("?>", "processing instruction").strip()
+            yield ProcessingInstruction(target, data)
+        elif scanner.startswith("</"):
+            scanner.pos += 2
+            name = scanner.read_name()
+            scanner.skip_ws()
+            scanner.expect(">")
+            if not stack:
+                raise scanner.error(f"unexpected end tag </{name}>")
+            expected = stack.pop()
+            if name != expected:
+                raise scanner.error(
+                    f"mismatched end tag </{name}>, expected </{expected}>"
+                )
+            yield EndElement(name)
+        else:
+            scanner.expect("<")
+            if seen_root and not stack:
+                raise scanner.error("multiple root elements")
+            name = scanner.read_name()
+            attrs = _read_attributes(scanner)
+            scanner.skip_ws()
+            if scanner.startswith("/>"):
+                scanner.pos += 2
+                seen_root = True
+                yield StartElement(name, attrs)
+                yield EndElement(name)
+            else:
+                scanner.expect(">")
+                seen_root = True
+                stack.append(name)
+                yield StartElement(name, attrs)
+
+    if stack:
+        raise scanner.error(f"unclosed element <{stack[-1]}>")
+    if not seen_root:
+        raise scanner.error("document has no root element")
+
+
+class ContentHandler:
+    """SAX-style callback interface (subset of the Expat API the paper uses).
+
+    Subclass and override the callbacks of interest; the defaults do
+    nothing, so handlers only implement what they need.
+    """
+
+    def start_element(self, name: str, attrs: dict[str, str]) -> None:
+        """Called for each start tag (and each empty-element tag)."""
+
+    def end_element(self, name: str) -> None:
+        """Called for each end tag (and each empty-element tag)."""
+
+    def characters(self, text: str) -> None:
+        """Called for character data (possibly several times per node)."""
+
+    def processing_instruction(self, target: str, data: str) -> None:
+        """Called for each processing instruction."""
+
+    def comment(self, text: str) -> None:
+        """Called for each comment."""
+
+
+def push_parse(text: str, handler: ContentHandler) -> None:
+    """Parse ``text``, pushing events into ``handler`` (SAX style)."""
+    for event in iterparse(text):
+        if isinstance(event, StartElement):
+            handler.start_element(event.name, event.attrs)
+        elif isinstance(event, EndElement):
+            handler.end_element(event.name)
+        elif isinstance(event, Characters):
+            handler.characters(event.text)
+        elif isinstance(event, ProcessingInstruction):
+            handler.processing_instruction(event.target, event.data)
+        elif isinstance(event, Comment):
+            handler.comment(event.text)

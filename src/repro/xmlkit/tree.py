@@ -1,0 +1,87 @@
+"""A lightweight element tree built on top of the streaming parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit.events import Characters, EndElement, StartElement
+from repro.xmlkit.parser import iterparse
+
+
+@dataclass(slots=True)
+class Element:
+    """An XML element: a name, attributes, child elements and text.
+
+    ``text`` holds the concatenated character data directly inside this
+    element (the documents this library manipulates have no mixed
+    content, so a single text slot per element suffices and keeps the
+    model small).
+    """
+
+    name: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["Element"] = field(default_factory=list)
+    text: str = ""
+
+    def append(self, child: "Element") -> "Element":
+        """Append ``child`` and return it (enables fluent tree building)."""
+        self.children.append(child)
+        return child
+
+    def child(self, name: str) -> "Element | None":
+        """Return the first direct child named ``name``, or ``None``."""
+        for node in self.children:
+            if node.name == name:
+                return node
+        return None
+
+    def find_all(self, name: str) -> list["Element"]:
+        """Return all direct children named ``name``."""
+        return [node for node in self.children if node.name == name]
+
+    def iter(self) -> Iterator["Element"]:
+        """Iterate over this element and all descendants, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def get(self, attr: str, default: str | None = None) -> str | None:
+        """Return attribute ``attr`` or ``default``."""
+        return self.attrs.get(attr, default)
+
+    def local_name(self) -> str:
+        """Return the name with any namespace prefix stripped."""
+        _, _, local = self.name.rpartition(":")
+        return local
+
+
+def parse_tree(text: str) -> Element:
+    """Parse ``text`` into an :class:`Element` tree and return the root.
+
+    Raises:
+        XmlSyntaxError: on malformed input.
+    """
+    root: Element | None = None
+    stack: list[Element] = []
+    for event in iterparse(text):
+        if isinstance(event, StartElement):
+            node = Element(event.name, dict(event.attrs))
+            if stack:
+                stack[-1].children.append(node)
+            elif root is None:
+                root = node
+            stack.append(node)
+        elif isinstance(event, EndElement):
+            stack.pop()
+        elif isinstance(event, Characters):
+            if stack:
+                stack[-1].text += event.text
+    if root is None:
+        raise XmlSyntaxError("document has no root element")
+    for node in root.iter():
+        node.text = node.text.strip()
+    return root

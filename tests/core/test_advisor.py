@@ -1,0 +1,93 @@
+"""The fragmentation advisor (the paper's Section 7 future work)."""
+
+import pytest
+
+from repro.core.advisor import (
+    exchange_objective,
+    recommend_fragmentation,
+)
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel, MachineProfile
+from repro.core.fragmentation import Fragmentation
+
+
+@pytest.fixture
+def model(auction_schema):
+    return CostModel(
+        StatisticsCatalog.synthetic(auction_schema, fanout=4.0),
+        bandwidth=100.0,
+    )
+
+
+class TestRecommendFragmentation:
+    def test_discovers_identity_with_peer(self, auction_schema,
+                                          auction_lf, model):
+        # With similar machines, matching the peer's fragmentation
+        # exactly removes every Combine/Split: the advisor should find
+        # it (LF is also the search start here, so zero steps).
+        objective = exchange_objective(auction_lf, model)
+        result = recommend_fragmentation(auction_schema, objective)
+        assert {f.root_name for f in result.fragmentation} == {
+            f.root_name for f in auction_lf
+        }
+
+    def test_improves_over_mismatched_start(self, auction_schema,
+                                            auction_lf, auction_mf,
+                                            model):
+        objective = exchange_objective(auction_lf, model)
+        start_cost = objective(auction_mf)
+        result = recommend_fragmentation(
+            auction_schema, objective, start=auction_mf
+        )
+        assert result.cost < start_cost
+        assert result.steps > 0
+        assert result.evaluations > result.steps
+
+    def test_flat_storable_constraint(self, customers_schema, model,
+                                      customers_t):
+        from repro.core.cost.estimates import StatisticsCatalog
+        from repro.core.cost.model import CostModel
+
+        customer_model = CostModel(
+            StatisticsCatalog.synthetic(customers_schema)
+        )
+        objective = exchange_objective(
+            customers_t, customer_model, flat_storable_only=True
+        )
+        result = recommend_fragmentation(customers_schema, objective)
+        assert result.fragmentation.is_flat_storable()
+
+    def test_consumer_side_objective(self, auction_schema, auction_mf,
+                                     model):
+        objective = exchange_objective(
+            auction_mf, model, as_source=False
+        )
+        result = recommend_fragmentation(auction_schema, objective)
+        assert result.cost < float("inf")
+        # The result is a valid fragmentation by construction.
+        assert isinstance(result.fragmentation, Fragmentation)
+
+    def test_max_steps_bounds_search(self, auction_schema, auction_lf,
+                                     auction_mf, model):
+        objective = exchange_objective(auction_lf, model)
+        result = recommend_fragmentation(
+            auction_schema, objective, start=auction_mf, max_steps=1
+        )
+        assert result.steps <= 1
+
+    def test_fast_peer_changes_recommendation_cost(self,
+                                                   auction_schema,
+                                                   auction_lf):
+        stats = StatisticsCatalog.synthetic(auction_schema, fanout=4.0)
+        slow = CostModel(stats, bandwidth=100.0)
+        fast_target = CostModel(
+            stats, target=MachineProfile("t", speed=10.0),
+            bandwidth=100.0,
+        )
+        slow_result = recommend_fragmentation(
+            auction_schema, exchange_objective(auction_lf, slow)
+        )
+        fast_result = recommend_fragmentation(
+            auction_schema, exchange_objective(auction_lf, fast_target)
+        )
+        assert fast_result.cost <= slow_result.cost

@@ -1,0 +1,81 @@
+"""The four primitive operations as DAG nodes."""
+
+import pytest
+
+from repro.errors import OperationError
+from repro.core.fragment import Fragment
+from repro.core.ops import Combine, Location, Scan, Split, Write
+
+
+class TestLocation:
+    def test_other(self):
+        assert Location.SOURCE.other() is Location.TARGET
+        assert Location.TARGET.other() is Location.SOURCE
+
+    def test_values(self):
+        assert Location.SOURCE.value == "S"
+        assert Location.TARGET.value == "T"
+
+
+class TestNodes:
+    def test_scan_ports(self, customers_schema):
+        fragment = Fragment(customers_schema, ["Order"])
+        scan = Scan(fragment)
+        assert scan.fragment is fragment
+        assert scan.outputs == (fragment,)
+        assert scan.kind == "scan"
+
+    def test_combine_ports(self, customers_schema):
+        order = Fragment(customers_schema, ["Order"])
+        service = Fragment(customers_schema, ["Service", "ServiceName"])
+        combine = Combine(order, service)
+        assert combine.parent_fragment is order
+        assert combine.child_fragment is service
+        assert combine.result.elements == order.elements | \
+            service.elements
+
+    def test_combine_validates_relation(self, customers_schema):
+        customer = Fragment(customers_schema, ["Customer", "CustName"])
+        line = Fragment(customers_schema, ["Line", "TelNo"])
+        with pytest.raises(OperationError):
+            Combine(customer, line)
+
+    def test_split_ports(self, customers_schema):
+        fragment = Fragment(
+            customers_schema, ["Line", "TelNo", "Feature", "FeatureID"]
+        )
+        pieces = fragment.split_into(
+            [["Line", "TelNo"], ["Feature", "FeatureID"]]
+        )
+        split = Split(fragment, pieces)
+        assert split.pieces == tuple(pieces)
+        assert split.inputs == (fragment,)
+
+    def test_split_validates_partition(self, customers_schema):
+        fragment = Fragment(customers_schema, ["Line", "TelNo"])
+        bad_piece = Fragment(customers_schema, ["Line"])
+        with pytest.raises(OperationError):
+            Split(fragment, [bad_piece])
+
+    def test_write_ports(self, customers_schema):
+        fragment = Fragment(customers_schema, ["Order"])
+        write = Write(fragment)
+        assert write.fragment is fragment
+        assert write.outputs == ()
+
+    def test_labels(self, customers_schema):
+        order = Fragment(customers_schema, ["Order"])
+        service = Fragment(customers_schema, ["Service", "ServiceName"])
+        assert Scan(order).label() == "Scan(Order)"
+        assert Combine(order, service).label() == \
+            "Combine(Order, Service_ServiceName)"
+
+    def test_op_ids_unique(self, customers_schema):
+        fragment = Fragment(customers_schema, ["Order"])
+        ids = {Scan(fragment).op_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_repr_includes_location(self, customers_schema):
+        scan = Scan(Fragment(customers_schema, ["Order"]),
+                    Location.SOURCE)
+        assert "@S" in repr(scan)

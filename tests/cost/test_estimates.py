@@ -1,0 +1,87 @@
+"""Statistics catalogs: synthetic, measured, and fragment pricing."""
+
+import pytest
+
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.fragment import Fragment
+
+
+class TestSynthetic:
+    def test_counts_follow_cardinalities(self, customers_schema):
+        stats = StatisticsCatalog.synthetic(customers_schema, fanout=4.0)
+        assert stats.count("Customer") == 1.0
+        assert stats.count("Order") == 4.0
+        assert stats.count("Service") == 4.0     # one per order
+        assert stats.count("Line") == 16.0       # 4 per order
+        assert stats.count("Feature") == 64.0
+
+    def test_widths_positive(self, customers_schema):
+        stats = StatisticsCatalog.synthetic(customers_schema)
+        for name in customers_schema.element_names():
+            assert stats.width(name) > 0
+
+    def test_fragment_accessors_compose(self, customers_schema):
+        stats = StatisticsCatalog.synthetic(customers_schema, fanout=2.0)
+        order = Fragment(customers_schema, ["Order"])
+        service = Fragment(customers_schema, ["Service", "ServiceName"])
+        combined = order.combined_with(service)
+        assert stats.fragment_rows(combined) == stats.fragment_rows(order)
+        assert stats.fragment_elements(combined) == pytest.approx(
+            stats.fragment_elements(order)
+            + stats.fragment_elements(service)
+        )
+
+    def test_whole_document_covers_everything(self, customers_schema):
+        stats = StatisticsCatalog.synthetic(customers_schema)
+        whole = Fragment.whole(customers_schema)
+        assert stats.fragment_elements(whole) == pytest.approx(
+            sum(stats.count(name)
+                for name in customers_schema.element_names())
+        )
+
+
+class TestFromDocument:
+    def test_exact_counts(self, customers_schema, customer_documents):
+        document = customer_documents[0]
+        stats = StatisticsCatalog.from_document(
+            customers_schema, document
+        )
+        assert stats.count("Customer") == 1
+        assert stats.count("Order") == sum(
+            1 for node in document.iter_all() if node.name == "Order"
+        )
+
+    def test_size_close_to_estimated(self, customers_schema,
+                                     customer_documents):
+        document = customer_documents[0]
+        stats = StatisticsCatalog.from_document(
+            customers_schema, document
+        )
+        whole = Fragment.whole(customers_schema)
+        measured = document.estimated_size()
+        # fragment_size adds the per-row ID/PARENT exposure (24 bytes).
+        assert stats.fragment_size(whole) == pytest.approx(
+            measured + 24, rel=0.01
+        )
+
+    def test_feed_size_below_tagged_size(self, auction_schema,
+                                         auction_document):
+        stats = StatisticsCatalog.from_document(
+            auction_schema, auction_document
+        )
+        item = Fragment.full_subtree(auction_schema, "item")
+        assert stats.fragment_feed_size(item) < stats.fragment_size(item)
+
+
+class TestValueWidthFallback:
+    def test_fallback_subtracts_tag_overhead(self, customers_schema):
+        counts = {name: 1.0 for name in customers_schema.element_names()}
+        widths = {
+            name: 2 * len(name) + 5 + 10.0
+            for name in customers_schema.element_names()
+        }
+        stats = StatisticsCatalog(customers_schema, counts, widths)
+        fragment = Fragment(customers_schema, ["Order"])
+        assert stats.fragment_feed_size(fragment) == pytest.approx(
+            (8 + 2 + 10.0) + 8  # key+sep+value plus per-row parent key
+        )

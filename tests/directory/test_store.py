@@ -1,0 +1,70 @@
+"""The LDAP-like directory store."""
+
+import pytest
+
+from repro.errors import DirectoryError
+from repro.directory.store import DirectoryStore, Entry, ObjectClass
+
+
+@pytest.fixture
+def store():
+    directory = DirectoryStore("test")
+    directory.define_class(ObjectClass("CUSTOMER_T", ("c_name",)))
+    directory.define_class(ObjectClass("ORDER_SERVICE_T", ("s_name",)))
+    return directory
+
+
+class TestClasses:
+    def test_duplicate_class_rejected(self, store):
+        with pytest.raises(DirectoryError):
+            store.define_class(ObjectClass("CUSTOMER_T"))
+
+    def test_unknown_class_rejected(self, store):
+        with pytest.raises(DirectoryError):
+            store.add_entry((), "NOPE", {})
+
+    def test_must_contain_enforced(self, store):
+        with pytest.raises(DirectoryError, match="MUST CONTAIN"):
+            store.add_entry((), "CUSTOMER_T", {})
+
+
+class TestEntries:
+    def test_dewey_dns(self, store):
+        first = store.add_entry((), "CUSTOMER_T", {"c_name": "acme"})
+        second = store.add_entry((), "CUSTOMER_T", {"c_name": "bb"})
+        child = store.add_entry(
+            first, "ORDER_SERVICE_T", {"s_name": "local"}
+        )
+        assert first == (1,)
+        assert second == (2,)
+        assert child == (1, 1)
+        assert store.entry(child).dn_string() == "1.1"
+
+    def test_children_in_order(self, store):
+        parent = store.add_entry((), "CUSTOMER_T", {"c_name": "a"})
+        store.add_entry(parent, "ORDER_SERVICE_T", {"s_name": "x"})
+        store.add_entry(parent, "ORDER_SERVICE_T", {"s_name": "y"})
+        names = [
+            entry.attrs["s_name"] for entry in store.children(parent)
+        ]
+        assert names == ["x", "y"]
+
+    def test_search_by_class(self, store):
+        store.add_entry((), "CUSTOMER_T", {"c_name": "a"})
+        parent = store.add_entry((), "CUSTOMER_T", {"c_name": "b"})
+        store.add_entry(parent, "ORDER_SERVICE_T", {"s_name": "z"})
+        assert len(store.search("CUSTOMER_T")) == 2
+        assert len(store.search("ORDER_SERVICE_T")) == 1
+        assert len(store) == 3
+
+    def test_missing_parent_rejected(self, store):
+        with pytest.raises(DirectoryError):
+            store.add_entry((9,), "CUSTOMER_T", {"c_name": "x"})
+
+    def test_missing_entry_rejected(self, store):
+        with pytest.raises(DirectoryError):
+            store.entry((42,))
+
+    def test_entry_is_dataclass(self):
+        entry = Entry((1, 2), "X", {"a": "b"})
+        assert entry.dn_string() == "1.2"

@@ -1,0 +1,95 @@
+"""SOAP envelopes and fragment-feed wire format."""
+
+import pytest
+
+from repro.errors import SoapFault
+from repro.core.fragment import Fragment
+from repro.net.soap import (
+    parse_envelope,
+    soap_envelope,
+    unwrap_fragment_feed,
+    wrap_fragment_feed,
+)
+from repro.workloads.customer import fragment_customers
+from repro.xmlkit.tree import Element
+from repro.xmlkit.writer import serialize
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        body = Element("Ping", {"n": "1"})
+        payload = parse_envelope(soap_envelope(body))
+        assert payload.name == "Ping"
+        assert payload.get("n") == "1"
+
+    def test_not_an_envelope(self):
+        with pytest.raises(SoapFault):
+            parse_envelope("<NotSoap/>")
+
+    def test_empty_body_rejected(self):
+        text = ('<soap:Envelope xmlns:soap="ns"><soap:Body/>'
+                "</soap:Envelope>")
+        with pytest.raises(SoapFault):
+            parse_envelope(text)
+
+    def test_fault_raises(self):
+        text = (
+            '<soap:Envelope xmlns:soap="ns"><soap:Body>'
+            "<soap:Fault><faultstring>boom</faultstring></soap:Fault>"
+            "</soap:Body></soap:Envelope>"
+        )
+        with pytest.raises(SoapFault, match="boom"):
+            parse_envelope(text)
+
+
+class TestFragmentFeed:
+    @pytest.fixture
+    def order_feed(self, customers_s, customer_documents):
+        return fragment_customers(customer_documents, customers_s)[
+            "Line_Feature"
+        ]
+
+    def test_round_trip_preserves_rows(self, order_feed):
+        message = wrap_fragment_feed(order_feed)
+        received = unwrap_fragment_feed(message, order_feed.fragment)
+        assert received.row_count() == order_feed.row_count()
+        sent = sorted(
+            serialize(doc) for doc in order_feed.to_xml_documents()
+        )
+        got = sorted(
+            serialize(doc) for doc in received.to_xml_documents()
+        )
+        assert got == sent
+
+    def test_eids_survive(self, order_feed):
+        message = wrap_fragment_feed(order_feed)
+        received = unwrap_fragment_feed(message, order_feed.fragment)
+        sent_eids = sorted(row.eid for row in order_feed.rows)
+        got_eids = sorted(row.eid for row in received.rows)
+        assert got_eids == sent_eids
+
+    def test_wrong_fragment_rejected(self, order_feed,
+                                     customers_schema):
+        message = wrap_fragment_feed(order_feed)
+        other = Fragment(customers_schema, ["Order"])
+        with pytest.raises(SoapFault, match="carries fragment"):
+            unwrap_fragment_feed(message, other)
+
+    def test_count_mismatch_rejected(self, order_feed):
+        message = wrap_fragment_feed(order_feed)
+        tampered = message.replace(
+            f'count="{order_feed.row_count()}"', 'count="999"'
+        )
+        with pytest.raises(SoapFault, match="declares"):
+            unwrap_fragment_feed(tampered, order_feed.fragment)
+
+    def test_missing_eid_rejected(self, customers_schema):
+        fragment = Fragment(customers_schema, ["Order"])
+        text = (
+            '<soap:Envelope xmlns:soap="ns"><soap:Body>'
+            '<FragmentFeed fragment="Order" count="1">'
+            '<Order ID="1" PARENT=""/></FragmentFeed>'
+            "</soap:Body></soap:Envelope>"
+        )
+        with pytest.raises(SoapFault, match="_eid"):
+            unwrap_fragment_feed(text, fragment)

@@ -1,0 +1,68 @@
+"""The simulated channel."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.transport import NetworkProfile, SimulatedChannel
+from repro.workloads.customer import fragment_customers
+
+
+@pytest.fixture
+def feed(customers_s, customer_documents):
+    return fragment_customers(customer_documents, customers_s)["Order"]
+
+
+class TestNetworkProfile:
+    def test_defaults(self):
+        profile = NetworkProfile()
+        assert profile.bandwidth_bytes_per_second > 0
+
+    def test_validation(self):
+        with pytest.raises(TransportError):
+            NetworkProfile(bandwidth_bytes_per_second=0)
+        with pytest.raises(TransportError):
+            NetworkProfile(latency_seconds=-1)
+
+
+class TestSimulatedChannel:
+    def test_transfer_cost_formula(self):
+        channel = SimulatedChannel(
+            NetworkProfile(bandwidth_bytes_per_second=100.0,
+                           latency_seconds=0.5)
+        )
+        assert channel.transfer_cost(200) == pytest.approx(2.5)
+
+    def test_fragment_shipping_charges_feed_bytes(self, feed):
+        channel = SimulatedChannel()
+        shipment = channel.ship_fragment(feed)
+        assert shipment.bytes_sent == feed.feed_size()
+        assert channel.total_bytes == shipment.bytes_sent
+        assert channel.messages == 1
+        assert channel.total_seconds == pytest.approx(shipment.seconds)
+
+    def test_document_shipping(self):
+        channel = SimulatedChannel()
+        shipment = channel.ship_document("x" * 1000)
+        assert shipment.bytes_sent == 1000
+
+    def test_wire_format_round_trip(self, feed):
+        channel = SimulatedChannel(wire_format=True)
+        rows_before = feed.row_count()
+        eids_before = sorted(row.eid for row in feed.rows)
+        shipment = channel.ship_fragment(feed)
+        assert shipment.bytes_sent > feed.feed_size()  # tagged + SOAP
+        assert feed.row_count() == rows_before
+        assert sorted(row.eid for row in feed.rows) == eids_before
+
+    def test_reset(self, feed):
+        channel = SimulatedChannel()
+        channel.ship_fragment(feed)
+        channel.reset()
+        assert channel.total_bytes == 0
+        assert channel.messages == 0
+
+    def test_closed_channel_rejects(self, feed):
+        channel = SimulatedChannel()
+        channel.close()
+        with pytest.raises(TransportError):
+            channel.ship_fragment(feed)

@@ -1,0 +1,59 @@
+"""Coupled search: optimal / worst / greedy exchanges."""
+
+import pytest
+
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel
+from repro.core.mapping import derive_mapping
+from repro.core.optimizer.search import (
+    greedy_exchange,
+    optimal_exchange,
+    worst_exchange,
+)
+
+
+@pytest.fixture
+def mapping(customers_s, customers_t):
+    return derive_mapping(customers_s, customers_t)
+
+
+@pytest.fixture
+def model(customers_schema):
+    return CostModel(StatisticsCatalog.synthetic(customers_schema))
+
+
+class TestSearch:
+    def test_ordering_invariant(self, mapping, model):
+        optimal = optimal_exchange(mapping, model, order_limit=50)
+        worst = worst_exchange(mapping, model, order_limit=50)
+        greedy = greedy_exchange(mapping, model)
+        assert optimal.cost <= greedy.cost + 1e-9
+        assert optimal.cost <= worst.cost + 1e-9
+
+    def test_programs_considered(self, mapping, model):
+        optimal = optimal_exchange(mapping, model, order_limit=50)
+        assert optimal.programs_considered == 1  # single combine order
+        assert optimal.elapsed_seconds >= 0
+
+    def test_results_carry_legal_placements(self, mapping, model):
+        for result in (
+            optimal_exchange(mapping, model, order_limit=50),
+            worst_exchange(mapping, model, order_limit=50),
+            greedy_exchange(mapping, model),
+        ):
+            result.program.validate_placement(result.placement)
+
+    def test_annotate_writes_locations(self, mapping, model):
+        result = greedy_exchange(mapping, model)
+        program = result.annotate()
+        assert all(node.location is not None for node in program.nodes)
+
+    def test_greedy_is_fast(self, auction_mf, auction_lf,
+                            auction_schema):
+        # Section 5.4.2: "finding a solution using the greedy algorithm
+        # takes a few milliseconds".
+        model = CostModel(StatisticsCatalog.synthetic(auction_schema))
+        result = greedy_exchange(
+            derive_mapping(auction_mf, auction_lf), model
+        )
+        assert result.elapsed_seconds < 0.5

@@ -1,0 +1,103 @@
+"""Parallel execution estimation (the Section 5.2 opportunity)."""
+
+import pytest
+
+from repro.core.mapping import derive_mapping
+from repro.core.optimizer.placement import source_heavy_placement
+from repro.core.program.builder import build_transfer_program
+from repro.core.program.executor import ProgramExecutor
+from repro.core.program.parallel import (
+    partition_expressions,
+    simulate_parallel_makespan,
+)
+from repro.services.endpoint import InMemoryEndpoint
+from repro.workloads.customer import fragment_customers
+
+
+class TestPartitionExpressions:
+    def test_identity_program_fully_parallel(self, customers_t):
+        program = build_transfer_program(
+            derive_mapping(customers_t, customers_t)
+        )
+        groups = partition_expressions(program)
+        # One Scan -> Write pair per target fragment.
+        assert len(groups) == len(customers_t)
+        assert all(len(group) == 2 for group in groups)
+
+    def test_shared_split_merges_expressions(self, customers_s,
+                                             customers_t):
+        program = build_transfer_program(
+            derive_mapping(customers_s, customers_t)
+        )
+        groups = partition_expressions(program)
+        # Customer is independent; Order_Service is independent;
+        # Line_Switch and Feature share the Split -> one group.
+        assert len(groups) == 3
+        sizes = sorted(len(group) for group in groups)
+        assert sizes == [2, 4, 6]
+
+    def test_groups_cover_all_nodes(self, auction_mf, auction_lf):
+        program = build_transfer_program(
+            derive_mapping(auction_mf, auction_lf)
+        )
+        groups = partition_expressions(program)
+        covered = {
+            node.op_id for group in groups for node in group
+        }
+        assert covered == {node.op_id for node in program.nodes}
+
+
+class TestMakespan:
+    @pytest.fixture
+    def run(self, customers_s, customers_t, customer_documents):
+        source = InMemoryEndpoint("s")
+        for instance in fragment_customers(
+            customer_documents, customers_s
+        ).values():
+            source.put(instance)
+        target = InMemoryEndpoint("t")
+        program = build_transfer_program(
+            derive_mapping(customers_s, customers_t)
+        )
+        placement = source_heavy_placement(program)
+        report = ProgramExecutor(source, target).run(
+            program, placement
+        )
+        return program, placement, report
+
+    def test_speedup_at_least_one(self, run):
+        program, placement, report = run
+        estimate = simulate_parallel_makespan(
+            program, placement, report, workers=4
+        )
+        assert estimate.speedup >= 1.0
+        assert estimate.groups == 3
+        assert estimate.parallel_seconds <= \
+            estimate.sequential_seconds + 1e-12
+
+    def test_single_worker_is_sequential(self, run):
+        program, placement, report = run
+        estimate = simulate_parallel_makespan(
+            program, placement, report, workers=1
+        )
+        assert estimate.parallel_seconds == pytest.approx(
+            estimate.sequential_seconds
+        )
+
+    def test_more_workers_never_slower(self, run):
+        program, placement, report = run
+        previous = None
+        for workers in (1, 2, 4, 8):
+            estimate = simulate_parallel_makespan(
+                program, placement, report, workers=workers
+            )
+            if previous is not None:
+                assert estimate.parallel_seconds <= previous + 1e-12
+            previous = estimate.parallel_seconds
+
+    def test_bad_workers_rejected(self, run):
+        program, placement, report = run
+        with pytest.raises(ValueError):
+            simulate_parallel_makespan(
+                program, placement, report, workers=0
+            )

@@ -1,0 +1,60 @@
+"""Program rendering (text and DOT)."""
+
+from repro.core.mapping import derive_mapping
+from repro.core.ops.base import Location
+from repro.core.program.builder import build_transfer_program
+from repro.core.program.render import summary, to_dot, to_text
+
+
+class TestToText:
+    def test_every_edge_rendered(self, customers_s, customers_t):
+        program = build_transfer_program(
+            derive_mapping(customers_s, customers_t)
+        )
+        text = to_text(program)
+        assert len(text.splitlines()) == len(program.edges)
+
+    def test_location_annotations(self, customers_s, customers_t):
+        program = build_transfer_program(
+            derive_mapping(customers_s, customers_t)
+        )
+        for node in program.nodes:
+            node.location = (
+                Location.TARGET if node.kind == "write"
+                else Location.SOURCE
+            )
+        text = to_text(program)
+        assert "@S" in text and "@T" in text
+
+    def test_isolated_nodes_rendered(self, customers_t):
+        # Identity programs: scan -> write pairs only, still all edges.
+        program = build_transfer_program(
+            derive_mapping(customers_t, customers_t)
+        )
+        text = to_text(program)
+        assert "Scan(Customer)" in text
+        assert "Write(Customer)" in text
+
+
+class TestToDot:
+    def test_dot_structure(self, customers_s, customers_t):
+        program = build_transfer_program(
+            derive_mapping(customers_s, customers_t)
+        )
+        for node in program.nodes:
+            node.location = (
+                Location.TARGET if node.kind == "write"
+                else Location.SOURCE
+            )
+        dot = to_dot(program)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == len(program.edges)
+        assert 'style=dashed, label="ship"' in dot
+
+
+class TestSummary:
+    def test_counts(self, customers_s, customers_t):
+        program = build_transfer_program(
+            derive_mapping(customers_s, customers_t)
+        )
+        assert summary(program) == "scan=5 combine=2 split=1 write=4"

@@ -1,0 +1,130 @@
+"""Program serialization (agency -> endpoints assignment)."""
+
+import pytest
+
+from repro.errors import PlacementError, ProgramError
+from repro.core.mapping import derive_mapping
+from repro.core.optimizer.placement import source_heavy_placement
+from repro.core.program.builder import build_transfer_program
+from repro.core.program.render import summary, to_text
+from repro.core.program.serialize import (
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+)
+
+
+@pytest.fixture
+def placed_program(customers_s, customers_t):
+    program = build_transfer_program(
+        derive_mapping(customers_s, customers_t)
+    )
+    return program, source_heavy_placement(program)
+
+
+class TestRoundTrip:
+    def test_structure_survives(self, placed_program,
+                                customers_schema):
+        program, placement = placed_program
+        text = program_to_json(program, placement)
+        rebuilt, rebuilt_placement = program_from_json(
+            text, customers_schema
+        )
+        assert summary(rebuilt) == summary(program)
+        assert to_text(rebuilt) == to_text(program)
+        assert rebuilt_placement is not None
+        rebuilt.validate_placement(rebuilt_placement)
+        # Same locations, matched positionally.
+        original = [
+            placement[node.op_id] for node in program.nodes
+        ]
+        loaded = [
+            rebuilt_placement[node.op_id] for node in rebuilt.nodes
+        ]
+        assert loaded == original
+
+    def test_without_placement(self, placed_program,
+                               customers_schema):
+        program, _ = placed_program
+        rebuilt, rebuilt_placement = program_from_dict(
+            program_to_dict(program), customers_schema
+        )
+        assert rebuilt_placement is None
+        assert summary(rebuilt) == summary(program)
+
+    def test_xmark_program_round_trip(self, auction_mf, auction_lf,
+                                      auction_schema):
+        program = build_transfer_program(
+            derive_mapping(auction_mf, auction_lf)
+        )
+        rebuilt, _ = program_from_json(
+            program_to_json(program), auction_schema
+        )
+        assert summary(rebuilt) == \
+            "scan=24 combine=21 split=0 write=3"
+
+    def test_rebuilt_program_executes(self, placed_program,
+                                      customers_schema, customers_s,
+                                      customers_t, customer_documents):
+        from repro.core.program.executor import ProgramExecutor
+        from repro.services.endpoint import InMemoryEndpoint
+        from repro.workloads.customer import fragment_customers
+
+        program, placement = placed_program
+        rebuilt, rebuilt_placement = program_from_json(
+            program_to_json(program, placement), customers_schema
+        )
+        source = InMemoryEndpoint("s")
+        for instance in fragment_customers(
+            customer_documents, customers_s
+        ).values():
+            source.put(instance)
+        target = InMemoryEndpoint("t")
+        ProgramExecutor(source, target).run(
+            rebuilt, rebuilt_placement
+        )
+        assert set(target.store) == {
+            fragment.name for fragment in customers_t
+        }
+
+
+class TestValidation:
+    def test_version_checked(self, customers_schema):
+        with pytest.raises(ProgramError, match="version"):
+            program_from_dict(
+                {"version": 99, "nodes": [], "edges": []},
+                customers_schema,
+            )
+
+    def test_unknown_kind_rejected(self, customers_schema):
+        with pytest.raises(ProgramError, match="kind"):
+            program_from_dict(
+                {
+                    "version": 1,
+                    "nodes": [{"kind": "teleport"}],
+                    "edges": [],
+                },
+                customers_schema,
+            )
+
+    def test_illegal_placement_rejected(self, placed_program,
+                                        customers_schema):
+        program, placement = placed_program
+        data = program_to_dict(program, placement)
+        for entry in data["nodes"]:
+            if entry["kind"] == "write":
+                entry["location"] = "S"  # writes must run at T
+        with pytest.raises(PlacementError):
+            program_from_dict(data, customers_schema)
+
+    def test_tampered_fragment_rejected(self, placed_program,
+                                        customers_schema):
+        program, _ = placed_program
+        data = program_to_dict(program)
+        for entry in data["nodes"]:
+            if entry["kind"] == "scan":
+                entry["fragment"]["elements"] = ["CustName", "Order"]
+                break
+        with pytest.raises(Exception):
+            program_from_dict(data, customers_schema)

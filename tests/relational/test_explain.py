@@ -1,0 +1,72 @@
+"""EXPLAIN plan descriptions."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.relational.engine import Database
+
+
+@pytest.fixture
+def db():
+    database = Database("x")
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, g TEXT, v REAL)"
+    )
+    database.execute("CREATE TABLE u (fk INTEGER, w REAL)")
+    database.execute("INSERT INTO t VALUES (1, 'a', 1.0), (2, 'b', 2.0)")
+    return database
+
+
+class TestExplain:
+    def test_seq_scan_and_project(self, db):
+        plan = db.explain("SELECT * FROM t")
+        assert "seq scan t [2 rows]" in plan
+        assert "project (*)" in plan
+
+    def test_index_lookup_when_available(self, db):
+        assert "seq scan" in db.explain("SELECT * FROM t WHERE g = 'a'")
+        db.execute("CREATE INDEX ON t (g)")
+        plan = db.explain("SELECT * FROM t WHERE g = 'a'")
+        assert "index lookup t using hash(g)" in plan
+
+    def test_residual_filter_counted(self, db):
+        db.execute("CREATE INDEX ON t (g)")
+        plan = db.explain(
+            "SELECT * FROM t WHERE g = 'a' AND v > 0"
+        )
+        assert "filter (1 predicate)" in plan
+
+    def test_join_and_aggregate_and_sort(self, db):
+        plan = db.explain(
+            "SELECT g, SUM(v) AS s FROM t JOIN u ON t.id = u.fk "
+            "WHERE v > 1 GROUP BY g ORDER BY s DESC LIMIT 5"
+        )
+        assert "hash join build=u" in plan
+        assert "hash aggregate group by (g)" in plan
+        assert "sort (s DESC)" in plan
+        assert "limit 5" in plan
+        assert "project (g, s)" in plan
+
+    def test_whole_table_aggregate(self, db):
+        plan = db.explain("SELECT COUNT(*) FROM t")
+        assert "aggregate (single group)" in plan
+
+    def test_join_disables_index_lookup(self, db):
+        db.execute("CREATE INDEX ON t (g)")
+        plan = db.explain(
+            "SELECT w FROM t JOIN u ON t.id = u.fk WHERE g = 'a'"
+        )
+        assert "seq scan" in plan
+
+    def test_only_select_supported(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.explain("DELETE FROM t")
+
+    def test_plan_matches_execution_semantics(self, db):
+        # The index-candidate logic must mirror the executor: a
+        # qualified column from another alias cannot use the index.
+        db.execute("CREATE INDEX ON t (g)")
+        plan = db.explain(
+            "SELECT * FROM t AS a WHERE a.g = 'a'"
+        )
+        assert "index lookup" in plan

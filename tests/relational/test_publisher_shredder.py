@@ -1,0 +1,124 @@
+"""Publishing (merge & tag) and shredding (stack-based SAX)."""
+
+import pytest
+
+from repro.errors import RelationalError, SchemaError
+from repro.relational.engine import Database
+from repro.relational.frag_store import FragmentRelationMapper
+from repro.relational.publisher import publish_document
+from repro.relational.shredder import shred_document
+from repro.xmlkit.tree import parse_tree
+
+
+@pytest.fixture
+def mf_store(auction_mf, auction_document):
+    db = Database("S")
+    mapper = FragmentRelationMapper(auction_mf)
+    mapper.create_tables(db)
+    mapper.load_document(db, auction_document)
+    return db, mapper
+
+
+class TestPublisher:
+    def test_document_matches_source(self, mf_store, auction_document,
+                                     auction_schema):
+        db, mapper = mf_store
+        report = publish_document(db, mapper)
+        published = parse_tree(report.document)
+        assert published.name == "site"
+        # Same number of items as the original document.
+        count = sum(
+            1 for node in published.iter() if node.name == "item"
+        )
+        expected = sum(
+            1 for node in auction_document.iter_all()
+            if node.name == "item"
+        )
+        assert count == expected
+
+    def test_report_metrics(self, mf_store):
+        db, mapper = mf_store
+        report = publish_document(db, mapper)
+        assert report.bytes == len(report.document)
+        assert report.fragments_queried == len(mapper.layouts)
+        assert report.rows_merged == db.total_rows()
+
+    def test_publish_from_mf_equals_publish_from_lf(
+            self, mf_store, auction_lf, auction_document):
+        db_mf, mapper_mf = mf_store
+        db_lf = Database("S2")
+        mapper_lf = FragmentRelationMapper(auction_lf)
+        mapper_lf.create_tables(db_lf)
+        mapper_lf.load_document(db_lf, auction_document)
+        assert publish_document(db_mf, mapper_mf).document == \
+            publish_document(db_lf, mapper_lf).document
+
+    def test_empty_store_rejected(self, auction_mf):
+        db = Database("empty")
+        mapper = FragmentRelationMapper(auction_mf)
+        mapper.create_tables(db)
+        with pytest.raises(RelationalError, match="root"):
+            publish_document(db, mapper)
+
+
+class TestShredder:
+    def test_shred_tuple_counts(self, mf_store, auction_lf):
+        db, mapper_mf = mf_store
+        document = publish_document(db, mapper_mf).document
+        mapper_lf = FragmentRelationMapper(auction_lf)
+        result = shred_document(document, mapper_lf)
+        # One tuple per fragment-root occurrence.
+        items = result.rows[
+            mapper_lf.table_name(auction_lf.fragment_of("item"))
+        ]
+        categories = result.rows[
+            mapper_lf.table_name(auction_lf.fragment_of("category"))
+        ]
+        assert len(items) > 0 and len(categories) > 0
+        assert result.tuple_count == len(items) + len(categories) + 1
+
+    def test_elements_parsed_counts_all(self, mf_store, auction_lf,
+                                        auction_document):
+        db, mapper_mf = mf_store
+        document = publish_document(db, mapper_mf).document
+        result = shred_document(
+            document, FragmentRelationMapper(auction_lf)
+        )
+        assert result.elements_parsed == \
+            auction_document.element_count()
+
+    def test_load_into_then_republish_identical(
+            self, mf_store, auction_lf):
+        db, mapper_mf = mf_store
+        document = publish_document(db, mapper_mf).document
+        target_db = Database("T")
+        mapper_lf = FragmentRelationMapper(auction_lf)
+        mapper_lf.create_tables(target_db)
+        shredded = shred_document(document, mapper_lf)
+        loaded = shredded.load_into(target_db)
+        assert loaded == shredded.tuple_count
+        assert publish_document(target_db, mapper_lf).document == \
+            document
+
+    def test_unknown_element_rejected(self, auction_lf):
+        mapper = FragmentRelationMapper(auction_lf)
+        with pytest.raises(SchemaError):
+            shred_document("<site><bogus/></site>", mapper)
+
+    def test_attribute_values_captured(self, mf_store, auction_lf):
+        db, mapper_mf = mf_store
+        document = publish_document(db, mapper_mf).document
+        mapper_lf = FragmentRelationMapper(auction_lf)
+        result = shred_document(document, mapper_lf)
+        item_layout = mapper_lf.layouts[
+            auction_lf.fragment_of("item").name
+        ]
+        position = [
+            index for index, spec in enumerate(item_layout.specs)
+            if spec.name == "item_id"
+        ][0]
+        ids = {
+            row[position]
+            for row in result.rows[item_layout.table_name]
+        }
+        assert any(value and value.startswith("item") for value in ids)

@@ -1,0 +1,138 @@
+"""Aggregation, GROUP BY and UPDATE in the SQL subset."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError, TableError
+from repro.relational.engine import Database
+
+
+@pytest.fixture
+def db():
+    database = Database("agg")
+    database.execute(
+        "CREATE TABLE charges (custkey INTEGER, line TEXT, mrc REAL)"
+    )
+    database.execute(
+        "INSERT INTO charges VALUES"
+        " (1, 'a', 10.0), (1, 'b', 20.0), (2, 'c', 5.0),"
+        " (2, 'd', NULL), (3, 'e', 7.5)"
+    )
+    return database
+
+
+class TestAggregates:
+    def test_group_by_with_count_and_sum(self, db):
+        rows = db.query(
+            "SELECT custkey, COUNT(*) AS n, SUM(mrc) AS total "
+            "FROM charges GROUP BY custkey ORDER BY custkey"
+        )
+        assert rows == [(1, 2, 30.0), (2, 2, 5.0), (3, 1, 7.5)]
+
+    def test_count_column_skips_nulls(self, db):
+        rows = db.query(
+            "SELECT custkey, COUNT(mrc) FROM charges "
+            "GROUP BY custkey ORDER BY custkey"
+        )
+        assert rows == [(1, 2), (2, 1), (3, 1)]
+
+    def test_min_max_avg(self, db):
+        result = db.execute(
+            "SELECT MIN(mrc), MAX(mrc), AVG(mrc) FROM charges"
+        )
+        assert result.rows == [(5.0, 20.0, pytest.approx(10.625))]
+        assert result.columns == ["min_mrc", "max_mrc", "avg_mrc"]
+
+    def test_whole_table_aggregate_on_empty_input(self, db):
+        db.execute("DELETE FROM charges")
+        rows = db.query("SELECT COUNT(*), SUM(mrc) FROM charges")
+        assert rows == [(0, None)]
+
+    def test_group_on_empty_input_yields_no_groups(self, db):
+        db.execute("DELETE FROM charges")
+        rows = db.query(
+            "SELECT custkey, COUNT(*) FROM charges GROUP BY custkey"
+        )
+        assert rows == []
+
+    def test_order_by_aggregate_alias(self, db):
+        rows = db.query(
+            "SELECT custkey, SUM(mrc) AS total FROM charges "
+            "GROUP BY custkey ORDER BY total DESC"
+        )
+        assert [row[0] for row in rows] == [1, 3, 2]
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(TableError, match="GROUP BY"):
+            db.query(
+                "SELECT line, COUNT(*) FROM charges GROUP BY custkey"
+            )
+
+    def test_order_by_non_output_rejected_for_aggregates(self, db):
+        with pytest.raises(TableError, match="output column"):
+            db.query(
+                "SELECT custkey, COUNT(*) FROM charges "
+                "GROUP BY custkey ORDER BY mrc"
+            )
+
+    def test_where_applies_before_grouping(self, db):
+        rows = db.query(
+            "SELECT custkey, COUNT(*) FROM charges "
+            "WHERE mrc > 6 GROUP BY custkey ORDER BY custkey"
+        )
+        assert rows == [(1, 2), (3, 1)]
+
+    def test_aggregate_over_join(self, db):
+        db.execute("CREATE TABLE names (custkey INTEGER, name TEXT)")
+        db.execute(
+            "INSERT INTO names VALUES (1, 'acme'), (2, 'globex'),"
+            " (3, 'initech')"
+        )
+        rows = db.query(
+            "SELECT name, SUM(mrc) AS total FROM charges "
+            "JOIN names ON charges.custkey = names.custkey "
+            "GROUP BY name ORDER BY name"
+        )
+        assert rows == [
+            ("acme", 30.0), ("globex", 5.0), ("initech", 7.5),
+        ]
+
+    def test_count_star_without_parens_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.query("SELECT COUNT * FROM charges")
+
+
+class TestUpdate:
+    def test_update_with_where(self, db):
+        result = db.execute(
+            "UPDATE charges SET mrc = 1.0 WHERE custkey = 1"
+        )
+        assert result.rowcount == 2
+        assert db.query(
+            "SELECT SUM(mrc) FROM charges WHERE custkey = 1"
+        ) == [(2.0,)]
+
+    def test_update_all_rows(self, db):
+        assert db.execute(
+            "UPDATE charges SET line = 'x'"
+        ).rowcount == 5
+
+    def test_update_multiple_columns(self, db):
+        db.execute(
+            "UPDATE charges SET line = 'z', mrc = 0.0 "
+            "WHERE custkey = 3"
+        )
+        assert db.query(
+            "SELECT line, mrc FROM charges WHERE custkey = 3"
+        ) == [("z", 0.0)]
+
+    def test_update_maintains_indexes(self, db):
+        db.execute("CREATE INDEX ON charges (line)")
+        db.execute("UPDATE charges SET line = 'w' WHERE custkey = 2")
+        rows = db.query("SELECT custkey FROM charges WHERE line = 'w'")
+        assert {row[0] for row in rows} == {2}
+
+    def test_update_type_coercion(self, db):
+        db.execute("UPDATE charges SET mrc = 3 WHERE custkey = 3")
+        assert db.query(
+            "SELECT mrc FROM charges WHERE custkey = 3"
+        ) == [(3.0,)]

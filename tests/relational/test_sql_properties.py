@@ -1,0 +1,100 @@
+"""Property-based tests of the SQL engine against Python semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.engine import Database
+
+_VALUES = st.one_of(
+    st.none(),
+    st.integers(min_value=-1_000, max_value=1_000),
+)
+_GROUPS = st.sampled_from(["a", "b", "c"])
+_ROWS = st.lists(
+    st.tuples(_GROUPS, _VALUES), min_size=0, max_size=40
+)
+
+
+def _fresh(rows):
+    db = Database("prop")
+    db.execute("CREATE TABLE t (g TEXT, v INTEGER)")
+    db.load("t", [list(row) for row in rows])
+    return db
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ROWS)
+def test_group_by_count_sum_match_python(rows):
+    db = _fresh(rows)
+    got = {
+        row[0]: (row[1], row[2])
+        for row in db.query(
+            "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY g"
+        )
+    }
+    expected = {}
+    for group, value in rows:
+        count, values = expected.get(group, (0, []))
+        if value is not None:
+            values = values + [value]
+        expected[group] = (count + 1, values)
+    assert got == {
+        group: (count, sum(values) if values else None)
+        for group, (count, values) in expected.items()
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ROWS)
+def test_order_by_matches_sorted(rows):
+    db = _fresh(rows)
+    got = [row[0] for row in db.query(
+        "SELECT v FROM t WHERE v IS NOT NULL ORDER BY v"
+    )]
+    assert got == sorted(
+        value for _, value in rows if value is not None
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ROWS, st.integers(min_value=-1_000, max_value=1_000))
+def test_where_filter_matches_python(rows, threshold):
+    db = _fresh(rows)
+    got = db.execute(
+        f"SELECT COUNT(*) FROM t WHERE v >= {threshold}"
+    ).scalar()
+    assert got == sum(
+        1 for _, value in rows
+        if value is not None and value >= threshold
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ROWS)
+def test_delete_then_count_zero(rows):
+    db = _fresh(rows)
+    removed = db.execute("DELETE FROM t").rowcount
+    assert removed == len(rows)
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ROWS)
+def test_update_is_total(rows):
+    db = _fresh(rows)
+    changed = db.execute("UPDATE t SET v = 0").rowcount
+    assert changed == len(rows)
+    if rows:
+        assert db.query("SELECT MIN(v), MAX(v) FROM t") == [(0, 0)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ROWS)
+def test_index_equality_matches_scan(rows):
+    db = _fresh(rows)
+    db.execute("CREATE INDEX ON t (g)")
+    for group in ("a", "b", "c"):
+        indexed = db.execute(
+            f"SELECT COUNT(*) FROM t WHERE g = '{group}'"
+        ).scalar()
+        assert indexed == sum(1 for g, _ in rows if g == group)

@@ -1,0 +1,96 @@
+"""Row storage and indexes."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import ColumnType
+
+
+@pytest.fixture
+def table():
+    return Table(TableSchema("t", [
+        Column("id", ColumnType.INTEGER, nullable=False),
+        Column("name", ColumnType.TEXT),
+    ], primary_key="id"))
+
+
+class TestTable:
+    def test_insert_and_scan(self, table):
+        table.insert([1, "a"])
+        table.insert(["2", None])
+        assert list(table.scan()) == [(1, "a"), (2, None)]
+
+    def test_arity_check(self, table):
+        with pytest.raises(TableError):
+            table.insert([1])
+
+    def test_not_null_check(self, table):
+        with pytest.raises(TableError):
+            table.insert([None, "x"])
+
+    def test_bulk_load_leaves_indexes_stale(self, table):
+        index = table.create_index("id")
+        table.bulk_load([[1, "a"], [2, "b"]])
+        assert not index.built
+        assert table.build_indexes() == 1
+        assert index.built
+        assert index.lookup(2) == [1]
+
+    def test_insert_maintains_indexes(self, table):
+        index = table.create_index("name")
+        table.insert([1, "x"])
+        assert index.lookup("x") == [0]
+
+    def test_truncate(self, table):
+        table.create_index("id")
+        table.bulk_load([[1, "a"]])
+        table.truncate()
+        assert len(table) == 0
+        assert table.get_index("id").lookup(1) == []
+
+    def test_duplicate_index_rejected(self, table):
+        table.create_index("id")
+        with pytest.raises(TableError):
+            table.create_index("id")
+
+    def test_unknown_index_kind(self, table):
+        with pytest.raises(TableError):
+            table.create_index("id", kind="btree")
+
+    def test_column_values(self, table):
+        table.bulk_load([[1, "a"], [2, "b"]])
+        assert table.column_values("name") == ["a", "b"]
+
+    def test_estimated_bytes(self, table):
+        table.insert([1, "hello"])
+        assert table.estimated_bytes() == 8 + 5
+
+
+class TestHashIndex:
+    def test_build_and_lookup(self):
+        index = HashIndex("t", "c", 0)
+        index.build([(1,), (2,), (1,)])
+        assert index.lookup(1) == [0, 2]
+        assert index.lookup(9) == []
+        assert len(index) == 3
+
+
+class TestSortedIndex:
+    def test_order_and_range(self):
+        index = SortedIndex("t", "c", 0)
+        index.build([(5,), (1,), (None,), (3,)])
+        assert list(index.row_ids_in_order()) == [1, 3, 0]
+        assert index.range(2, 5) == [3, 0]
+        assert index.range(None, 1) == [1]
+        assert index.range(6, None) == []
+
+    def test_incremental_add(self):
+        index = SortedIndex("t", "c", 0)
+        index.build([(2,)])
+        index.add(5, (1,))
+        assert list(index.row_ids_in_order()) == [5, 0]
+        index.add(6, (None,))  # NULLs are not indexed
+        assert len(index) == 2

@@ -1,0 +1,104 @@
+"""Document and fragment-instance validation."""
+
+import pytest
+
+from repro.core.instance import ElementData, FragmentInstance, FragmentRow
+from repro.schema.validate import validate_document, validate_instance
+from repro.workloads.customer import fragment_customers
+from repro.workloads.docgen import generate_document
+from repro.workloads.xmark import generate_xmark_document
+from repro.schema.generator import random_schema
+
+
+class TestValidateDocument:
+    def test_generated_documents_conform(self, customers_schema,
+                                         customer_documents):
+        for document in customer_documents:
+            assert validate_document(customers_schema, document) == []
+
+    def test_xmark_documents_conform(self, auction_schema):
+        document = generate_xmark_document(30_000, seed=3)
+        assert validate_document(auction_schema, document) == []
+
+    def test_random_documents_conform(self):
+        for seed in range(5):
+            schema = random_schema(10, seed=seed, repeat_prob=0.5)
+            document = generate_document(schema, seed=seed)
+            assert validate_document(schema, document) == []
+
+    def test_wrong_root(self, customers_schema):
+        violations = validate_document(
+            customers_schema, ElementData("Order", 1)
+        )
+        assert len(violations) == 1
+        assert "root must be" in str(violations[0])
+
+    def test_missing_required_child(self, customers_schema):
+        customer = ElementData("Customer", 1)  # no CustName
+        violations = validate_document(customers_schema, customer)
+        assert any(
+            "required child <CustName>" in str(v) for v in violations
+        )
+
+    def test_repeated_singleton_child(self, customers_schema):
+        customer = ElementData("Customer", 1)
+        customer.add_child(ElementData("CustName", 2, text="a"))
+        customer.add_child(ElementData("CustName", 3, text="b"))
+        violations = validate_document(customers_schema, customer)
+        assert any("occurs 2 times" in str(v) for v in violations)
+
+    def test_undeclared_child_and_attribute(self, customers_schema):
+        customer = ElementData("Customer", 1, {"bogus": "x"})
+        customer.add_child(ElementData("CustName", 2, text="a"))
+        customer.add_child(ElementData("Mystery", 3))
+        violations = validate_document(customers_schema, customer)
+        messages = " | ".join(str(v) for v in violations)
+        assert "undeclared attribute 'bogus'" in messages
+        assert "<Mystery> is not declared" in messages
+
+    def test_text_on_non_leaf(self, customers_schema):
+        customer = ElementData("Customer", 1, text="stray")
+        customer.add_child(ElementData("CustName", 2, text="a"))
+        violations = validate_document(customers_schema, customer)
+        assert any("non-leaf" in str(v) for v in violations)
+
+
+class TestValidateInstance:
+    def test_fragment_feeds_conform(self, customers_s,
+                                    customer_documents):
+        feeds = fragment_customers(customer_documents, customers_s)
+        for instance in feeds.values():
+            assert validate_instance(instance) == []
+
+    def test_pruned_children_not_demanded(self, customers_s,
+                                          customer_documents):
+        # Line_Feature prunes Switch: rows lack Switch and that's fine.
+        feeds = fragment_customers(customer_documents, customers_s)
+        assert validate_instance(feeds["Line_Feature"]) == []
+
+    def test_out_of_fragment_child_flagged(self, customers_s,
+                                           customer_documents):
+        feeds = fragment_customers(customer_documents, customers_s)
+        instance = feeds["Line_Feature"].copy()
+        line = instance.rows[0].data
+        switch = ElementData("Switch", 99_999)
+        switch.add_child(ElementData("SwitchID", 99_998, text="SW"))
+        line.add_child(switch)
+        violations = validate_instance(instance)
+        assert any(
+            "outside fragment" in str(v) for v in violations
+        )
+
+    def test_wrong_row_root_flagged(self, customers_s):
+        fragment = customers_s.fragment("Order")
+        instance = FragmentInstance(
+            fragment, [FragmentRow(ElementData("Customer", 1), None)]
+        )
+        violations = validate_instance(instance)
+        assert any("row root" in str(v) for v in violations)
+
+    def test_combined_instances_still_conform(self, customers_s,
+                                              customer_documents):
+        feeds = fragment_customers(customer_documents, customers_s)
+        combined = feeds["Order"].combine(feeds["Service"])
+        assert validate_instance(combined) == []

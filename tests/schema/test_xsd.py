@@ -1,0 +1,107 @@
+"""Parsing WSDL-embedded XML Schema into schema trees."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.model import Cardinality
+from repro.schema.xsd import parse_xsd_element, parse_xsd_schema
+from repro.workloads.customer import customer_info_wsdl, customer_schema
+from repro.xmlkit.tree import Element, parse_tree
+
+
+class TestFigure1Schema:
+    def test_wsdl_types_parse_to_customer_schema(self):
+        definitions = customer_info_wsdl()
+        embedded = definitions.find_extension("schema")
+        parsed = parse_xsd_schema(embedded)
+        reference = customer_schema()
+        assert parsed.element_names() == reference.element_names()
+        for name in reference.element_names():
+            assert parsed.node(name).cardinality is \
+                reference.node(name).cardinality, name
+
+    def test_agency_can_run_on_parsed_schema(self):
+        """The full loop: WSDL text -> schema -> fragmentations ->
+        negotiated program, without ever touching the DTD."""
+        from repro.core.cost.estimates import StatisticsCatalog
+        from repro.core.cost.model import CostModel
+        from repro.core.fragmentation import Fragmentation
+        from repro.services.agency import DiscoveryAgency
+        from repro.wsdl.model import parse_wsdl, serialize_wsdl
+
+        text = serialize_wsdl(customer_info_wsdl())
+        embedded = parse_wsdl(text).find_extension("schema")
+        schema = parse_xsd_schema(embedded)
+        agency = DiscoveryAgency(schema)
+        agency.register(
+            "a", Fragmentation.most_fragmented(schema, "A")
+        )
+        agency.register(
+            "b", Fragmentation.least_fragmented(schema, "B")
+        )
+        plan = agency.negotiate(
+            "a", "b",
+            probe=CostModel(StatisticsCatalog.synthetic(schema)),
+        )
+        plan.program.validate_placement(plan.placement)
+
+
+class TestParsing:
+    def test_min_max_occurs(self):
+        declaration = parse_tree(
+            '<element name="r"><sequence>'
+            '<element name="one" type="string"/>'
+            '<element name="opt" minOccurs="0" type="string"/>'
+            '<element name="many" maxOccurs="unbounded"'
+            ' minOccurs="0" type="string"/>'
+            '<element name="plus" maxOccurs="unbounded"'
+            ' minOccurs="2" type="string"/>'
+            "</sequence></element>"
+        )
+        tree = parse_xsd_element(declaration)
+        assert tree.node("one").cardinality is Cardinality.ONE
+        assert tree.node("opt").cardinality is Cardinality.OPT
+        assert tree.node("many").cardinality is Cardinality.MANY
+        assert tree.node("plus").cardinality is Cardinality.PLUS
+
+    def test_attributes_collected_id_parent_skipped(self):
+        declaration = parse_tree(
+            '<element name="r">'
+            '<attribute name="ID" type="string"/>'
+            '<attribute name="PARENT" type="string"/>'
+            '<attribute name="kind" type="string"/>'
+            "</element>"
+        )
+        tree = parse_xsd_element(declaration)
+        assert tree.root.attributes == ["kind"]
+
+    def test_elements_without_sequence_wrapper(self):
+        declaration = parse_tree(
+            '<element name="r"><element name="c" type="string"/>'
+            "</element>"
+        )
+        tree = parse_xsd_element(declaration)
+        assert tree.node("c").is_leaf
+
+    def test_unsupported_constructs_rejected(self):
+        for body in (
+            '<element name="r"><choice/></element>',
+            '<element name="r"><restriction/></element>',
+            '<element name="r"><sequence><any/></sequence></element>',
+        ):
+            with pytest.raises(SchemaError):
+                parse_xsd_element(parse_tree(body))
+
+    def test_nameless_element_rejected(self):
+        with pytest.raises(SchemaError, match="name"):
+            parse_xsd_element(parse_tree("<element/>"))
+
+    def test_schema_wrapper_validations(self):
+        with pytest.raises(SchemaError):
+            parse_xsd_schema(Element("notschema"))
+        with pytest.raises(SchemaError, match="exactly one root"):
+            parse_xsd_schema(parse_tree("<schema/>"))
+
+    def test_wrong_top_level_element(self):
+        with pytest.raises(SchemaError, match="element"):
+            parse_xsd_element(Element("schema"))

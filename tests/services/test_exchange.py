@@ -1,0 +1,135 @@
+"""End-to-end exchange runs: optimized DE and publish&map."""
+
+import pytest
+
+from repro.core.optimizer.placement import source_heavy_placement
+from repro.core.mapping import derive_mapping
+from repro.core.program.builder import build_transfer_program
+from repro.net.transport import SimulatedChannel
+from repro.relational.publisher import publish_document
+from repro.services.endpoint import RelationalEndpoint
+from repro.services.exchange import (
+    run_optimized_exchange,
+    run_publish_and_map,
+)
+
+
+@pytest.fixture
+def loaded_source(auction_mf, auction_document):
+    source = RelationalEndpoint("S", auction_mf)
+    source.load_document(auction_document)
+    return source
+
+
+def de_outcome(source, target_fragmentation, scenario="x"):
+    target = RelationalEndpoint(
+        f"T-{scenario}", target_fragmentation
+    )
+    program = build_transfer_program(
+        derive_mapping(source.fragmentation, target_fragmentation)
+    )
+    placement = source_heavy_placement(program)
+    outcome = run_optimized_exchange(
+        program, placement, source, target, SimulatedChannel(),
+        scenario,
+    )
+    return outcome, target
+
+
+class TestOptimizedExchange:
+    def test_step_accounting(self, loaded_source, auction_lf):
+        outcome, _ = de_outcome(loaded_source, auction_lf)
+        assert outcome.method == "DE"
+        assert outcome.steps["source_processing"] > 0
+        assert outcome.steps["communication"] > 0
+        assert outcome.steps["loading"] > 0
+        assert outcome.steps["shredding"] == 0.0  # DE never shreds
+        assert outcome.total_seconds == pytest.approx(
+            sum(outcome.steps.values())
+        )
+
+    def test_target_populated(self, loaded_source, auction_lf):
+        outcome, target = de_outcome(loaded_source, auction_lf)
+        assert outcome.rows_written == target.total_rows()
+        assert outcome.indexes_built > 0
+
+    def test_data_processing_excludes_comm(self, loaded_source,
+                                           auction_lf):
+        outcome, _ = de_outcome(loaded_source, auction_lf)
+        assert outcome.data_processing_seconds == pytest.approx(
+            outcome.total_seconds - outcome.steps["communication"]
+        )
+
+    def test_breakdown_text(self, loaded_source, auction_lf):
+        outcome, _ = de_outcome(loaded_source, auction_lf)
+        assert "DE" in outcome.breakdown()
+        assert "source_processing" in outcome.breakdown()
+
+
+class TestPublishAndMap:
+    def test_step_accounting(self, loaded_source, auction_lf):
+        target = RelationalEndpoint("PMT", auction_lf)
+        outcome = run_publish_and_map(
+            loaded_source, target, SimulatedChannel(), "pm"
+        )
+        assert outcome.method == "PM"
+        assert outcome.steps["shredding"] > 0
+        assert outcome.steps["target_processing"] == 0.0
+        assert outcome.comm_bytes > 0
+        assert outcome.rows_written == target.total_rows()
+
+
+class TestEquivalence:
+    """DE and PM must produce identical target databases."""
+
+    @pytest.mark.parametrize("target_kind", ["mf", "lf"])
+    def test_same_target_content(self, loaded_source, auction_mf,
+                                 auction_lf, target_kind):
+        fragmentation = (
+            auction_mf if target_kind == "mf" else auction_lf
+        )
+        _, de_target = de_outcome(
+            loaded_source, fragmentation, f"de-{target_kind}"
+        )
+        pm_target = RelationalEndpoint(
+            f"pm-{target_kind}", fragmentation
+        )
+        run_publish_and_map(
+            loaded_source, pm_target, SimulatedChannel()
+        )
+        de_doc = publish_document(
+            de_target.db, de_target.mapper
+        ).document
+        pm_doc = publish_document(
+            pm_target.db, pm_target.mapper
+        ).document
+        assert de_doc == pm_doc
+
+    def test_round_trip_to_source_document(self, loaded_source,
+                                           auction_lf):
+        _, de_target = de_outcome(loaded_source, auction_lf, "rt")
+        republished = publish_document(
+            de_target.db, de_target.mapper
+        ).document
+        original = publish_document(
+            loaded_source.db, loaded_source.mapper
+        ).document
+        assert republished == original
+
+    def test_wire_format_channel_same_content(self, loaded_source,
+                                              auction_lf):
+        target = RelationalEndpoint("wire", auction_lf)
+        program = build_transfer_program(
+            derive_mapping(loaded_source.fragmentation, auction_lf)
+        )
+        placement = source_heavy_placement(program)
+        run_optimized_exchange(
+            program, placement, loaded_source, target,
+            SimulatedChannel(wire_format=True), "wire",
+        )
+        original = publish_document(
+            loaded_source.db, loaded_source.mapper
+        ).document
+        assert publish_document(
+            target.db, target.mapper
+        ).document == original

@@ -1,0 +1,161 @@
+"""Service arguments: selection pushdown (Section 3.2)."""
+
+import pytest
+
+from repro.errors import EndpointError
+from repro.core.mapping import derive_mapping
+from repro.core.program.builder import build_transfer_program
+from repro.core.program.executor import ProgramExecutor
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel
+from repro.core.optimizer.greedy import greedy_placement
+from repro.services.endpoint import InMemoryEndpoint
+from repro.services.selection import SelectiveEndpoint, ServiceArgument
+from repro.workloads.customer import fragment_customers
+
+
+@pytest.fixture
+def sales(customers_s, customer_documents):
+    endpoint = InMemoryEndpoint("sales")
+    for instance in fragment_customers(
+        customer_documents, customers_s
+    ).values():
+        endpoint.put(instance)
+    return endpoint
+
+
+def pick_service_name(customer_documents):
+    """A ServiceName value present in the data."""
+    for document in customer_documents:
+        for node in document.occurrences_of("ServiceName"):
+            return node.text
+    raise AssertionError("no services generated")
+
+
+class TestServiceArgument:
+    def test_leaf_equals(self, customer_documents):
+        value = pick_service_name(customer_documents)
+        argument = ServiceArgument.leaf_equals(
+            "Order", "ServiceName", value
+        )
+        kept = [
+            order
+            for document in customer_documents
+            for order in document.occurrences_of("Order")
+            if argument.predicate(order)
+        ]
+        assert kept
+        for order in kept:
+            names = {
+                node.text
+                for node in order.occurrences_of("ServiceName")
+            }
+            assert value in names
+
+    def test_leaf_contains(self, customer_documents):
+        argument = ServiceArgument.leaf_contains(
+            "Customer", "CustName", "#0"
+        )
+        matches = [
+            document for document in customer_documents
+            if argument.predicate(document)
+        ]
+        assert len(matches) == 1
+
+
+class TestSelectiveEndpoint:
+    def test_filters_anchor_fragment(self, sales, customers_s,
+                                     customer_documents):
+        argument = ServiceArgument.leaf_contains(
+            "Customer", "CustName", "#0"
+        )
+        view = SelectiveEndpoint(sales, customers_s, argument)
+        customers = view.scan(customers_s.fragment("Customer"))
+        assert customers.row_count() == 1
+
+    def test_cascade_removes_descendants(self, sales, customers_s,
+                                         customer_documents):
+        argument = ServiceArgument.leaf_contains(
+            "Customer", "CustName", "#0"
+        )
+        view = SelectiveEndpoint(sales, customers_s, argument)
+        kept_document = next(
+            document for document in customer_documents
+            if "#0" in document.child_list("CustName")[0].text
+        )
+        orders = view.scan(customers_s.fragment("Order"))
+        assert orders.row_count() == len(
+            kept_document.child_list("Order")
+        )
+        switches = view.scan(customers_s.fragment("Switch"))
+        expected_switches = sum(
+            1 for _ in kept_document.occurrences_of("Switch")
+        )
+        assert switches.row_count() == expected_switches
+
+    def test_unfiltered_scan_unchanged_for_all(self, sales,
+                                               customers_s,
+                                               customer_documents):
+        # A predicate that keeps everything changes nothing.
+        argument = ServiceArgument(
+            "Customer", lambda row: True
+        )
+        view = SelectiveEndpoint(sales, customers_s, argument)
+        for fragment in customers_s:
+            assert view.scan(fragment).row_count() == \
+                sales.scan(fragment).row_count()
+
+    def test_exchange_over_filtered_view(self, sales, customers_s,
+                                         customers_t, customers_schema,
+                                         customer_documents):
+        argument = ServiceArgument.leaf_contains(
+            "Customer", "CustName", "#0"
+        )
+        view = SelectiveEndpoint(sales, customers_s, argument)
+        target = InMemoryEndpoint("target")
+        program = build_transfer_program(
+            derive_mapping(customers_s, customers_t)
+        )
+        model = CostModel(StatisticsCatalog.synthetic(customers_schema))
+        placement = greedy_placement(program, model)
+        ProgramExecutor(view, target).run(program, placement)
+        assert target.store["Customer"].row_count() == 1
+        # Consistency: every Feature row's parent line exists.
+        line_eids = {
+            node.eid
+            for row in target.store["Line_Switch"].rows
+            for node in row.data.occurrences_of("Line")
+        }
+        for row in target.store["Feature"].rows:
+            assert row.parent in line_eids
+
+    def test_non_root_argument_rejected(self, sales, customers_s):
+        argument = ServiceArgument.leaf_equals(
+            "Switch", "SwitchID", "SW1"
+        )
+        # Switch IS a fragment root in S; use an internal element.
+        internal = ServiceArgument.leaf_equals(
+            "TelNo", "TelNo", "x"
+        )
+        with pytest.raises(EndpointError, match="fragment root"):
+            SelectiveEndpoint(sales, customers_s, internal)
+
+    def test_write_rejected(self, sales, customers_s,
+                            customer_documents):
+        argument = ServiceArgument("Customer", lambda row: True)
+        view = SelectiveEndpoint(sales, customers_s, argument)
+        feeds = fragment_customers(customer_documents, customers_s)
+        with pytest.raises(EndpointError, match="read-only"):
+            view.write(customers_s.fragment("Order"), feeds["Order"])
+
+    def test_probe_passthrough(self, sales, customers_s,
+                               customers_schema):
+        from repro.core.ops.scan import Scan
+
+        sales.use_statistics(
+            StatisticsCatalog.synthetic(customers_schema)
+        )
+        argument = ServiceArgument("Customer", lambda row: True)
+        view = SelectiveEndpoint(sales, customers_s, argument)
+        scan = Scan(customers_s.fragment("Order"))
+        assert view.estimate_cost(scan) == sales.estimate_cost(scan)

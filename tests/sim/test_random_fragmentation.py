@@ -1,0 +1,49 @@
+"""Random valid fragmentations."""
+
+import random
+
+import pytest
+
+from repro.errors import FragmentationError
+from repro.schema.generator import balanced_schema
+from repro.sim.random_fragmentation import random_fragmentation
+
+
+@pytest.fixture
+def schema():
+    return balanced_schema(2, 4, seed=1)
+
+
+class TestRandomFragmentation:
+    def test_exact_fragment_count(self, schema):
+        for count in (1, 3, len(schema)):
+            fragmentation = random_fragmentation(
+                schema, n_fragments=count, seed=5
+            )
+            assert len(fragmentation) == count
+
+    def test_always_valid(self, schema):
+        rng = random.Random(0)
+        for _ in range(25):
+            random_fragmentation(schema, n_fragments=7, rng=rng)
+
+    def test_deterministic_by_seed(self, schema):
+        first = random_fragmentation(schema, n_fragments=5, seed=9)
+        second = random_fragmentation(schema, n_fragments=5, seed=9)
+        assert {f.name for f in first} == {f.name for f in second}
+
+    def test_out_of_range_rejected(self, schema):
+        with pytest.raises(FragmentationError):
+            random_fragmentation(schema, n_fragments=0, seed=1)
+        with pytest.raises(FragmentationError):
+            random_fragmentation(
+                schema, n_fragments=len(schema) + 1, seed=1
+            )
+
+    def test_rng_xor_seed(self, schema):
+        with pytest.raises(ValueError):
+            random_fragmentation(schema, n_fragments=3)
+        with pytest.raises(ValueError):
+            random_fragmentation(
+                schema, n_fragments=3, seed=1, rng=random.Random(2)
+            )

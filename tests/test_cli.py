@@ -1,0 +1,79 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestProgramCommand:
+    def test_xmark_program(self):
+        output = run_cli("program", "MF", "LF")
+        assert "scan=24 combine=21 split=0 write=3" in output
+        assert "Write(" in output
+        assert "@S" in output and "@T" in output
+
+    def test_customer_program(self):
+        output = run_cli("program", "S", "T")
+        assert "scan=5 combine=2 split=1 write=4" in output
+        assert "Split(Line_Feature)" in output
+
+    def test_publishing_program(self):
+        output = run_cli("program", "S", "DOC")
+        assert "combine=4" in output and "write=1" in output
+
+    def test_dot_output(self):
+        output = run_cli("program", "S", "T", "--dot")
+        assert output.strip().split("\n", 1)[1].startswith("digraph")
+
+    def test_greedy_optimizer(self):
+        output = run_cli("program", "S", "T", "--optimizer", "greedy")
+        assert "optimizer=greedy" in output
+
+    def test_mixed_workloads_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["program", "MF", "T"], io.StringIO())
+
+
+class TestWsdlCommand:
+    def test_registration_document(self):
+        output = run_cli("wsdl", "LF")
+        assert "<definitions" in output
+        assert "<fragmentation" in output
+        assert "item" in output
+
+
+class TestExchangeCommand:
+    def test_runs_both_pipelines(self):
+        output = run_cli(
+            "exchange", "MF", "LF", "--size", "2.5",
+            "--scale", "0.02",
+        )
+        assert "DE" in output and "PM" in output
+        assert "saving" in output
+
+    def test_rejects_customer_keys(self):
+        with pytest.raises(SystemExit):
+            main(["exchange", "S", "T"], io.StringIO())
+
+
+class TestSimulateCommand:
+    def test_table5_config(self):
+        output = run_cli(
+            "simulate", "--ratio", "5/1", "--trials", "2",
+            "--fragments", "6", "--order-limit", "30",
+        )
+        assert "Worst/Optimal" in output
+        assert "Greedy/Optimal" in output
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--ratio", "fast"], io.StringIO())

@@ -1,0 +1,95 @@
+"""The fragmentation extension (Section 3.1's XSD-like syntax)."""
+
+import pytest
+
+from repro.errors import FragmentationError, WsdlError
+from repro.core.fragment import Fragment
+from repro.wsdl.extension import (
+    fragment_from_element,
+    fragment_to_element,
+    fragmentation_from_element,
+    fragmentation_to_element,
+)
+from repro.xmlkit.tree import Element, parse_tree
+from repro.xmlkit.writer import serialize
+
+
+class TestFragmentSyntax:
+    def test_order_service_matches_paper(self, customers_schema):
+        fragment = Fragment(
+            customers_schema,
+            ["Order", "Service", "ServiceName"],
+            "Order_Service",
+        )
+        element = fragment_to_element(fragment)
+        text = serialize(element)
+        # The paper's Section 3.1 example, structurally.
+        assert '<fragment name="Order_Service">' in text
+        assert '<element name="Order">' in text
+        assert '<attribute name="ID" type="string"/>' in text
+        assert '<attribute name="PARENT" type="string"/>' in text
+        assert '<element name="ServiceName" type="string"/>' in text
+
+    def test_repeated_children_carry_max_occurs(self,
+                                                customers_schema):
+        fragment = Fragment(
+            customers_schema, ["Customer", "CustName", "Order"]
+        )
+        text = serialize(fragment_to_element(fragment))
+        assert 'name="Order" maxOccurs="unbounded"' in text
+
+    def test_round_trip(self, customers_schema):
+        original = Fragment(
+            customers_schema,
+            ["Line", "TelNo", "Feature", "FeatureID"],
+            "Line_Feature",
+        )
+        element = fragment_to_element(original)
+        reparsed = parse_tree(serialize(element))
+        rebuilt = fragment_from_element(reparsed, customers_schema)
+        assert rebuilt == original
+        assert rebuilt.name == "Line_Feature"
+
+    def test_xml_attributes_declared(self, auction_schema):
+        fragment = Fragment.full_subtree(auction_schema, "item")
+        text = serialize(fragment_to_element(fragment))
+        assert '<attribute name="id" type="string"/>' in text
+        assert '<attribute name="featured" type="string"/>' in text
+
+    def test_bad_element_rejected(self, customers_schema):
+        with pytest.raises(WsdlError):
+            fragment_from_element(Element("other"), customers_schema)
+        no_root = Element("fragment", {"name": "x"})
+        with pytest.raises(WsdlError):
+            fragment_from_element(no_root, customers_schema)
+
+
+class TestFragmentationSyntax:
+    def test_t_fragmentation_round_trip(self, customers_schema,
+                                        customers_t):
+        element = fragmentation_to_element(customers_t)
+        reparsed = parse_tree(serialize(element))
+        rebuilt = fragmentation_from_element(
+            reparsed, customers_schema
+        )
+        assert rebuilt.name == customers_t.name
+        assert {fragment.name for fragment in rebuilt} == {
+            fragment.name for fragment in customers_t
+        }
+        for fragment in customers_t:
+            assert rebuilt.fragment(fragment.name).elements == \
+                fragment.elements
+
+    def test_invalid_fragmentation_rejected_on_parse(
+            self, customers_schema, customers_t):
+        element = fragmentation_to_element(customers_t)
+        # Drop one fragment: no longer covers the schema.
+        element.children.pop()
+        with pytest.raises(FragmentationError):
+            fragmentation_from_element(element, customers_schema)
+
+    def test_wrong_element_rejected(self, customers_schema):
+        with pytest.raises(WsdlError):
+            fragmentation_from_element(
+                Element("fragment"), customers_schema
+            )

@@ -1,0 +1,75 @@
+"""Entity escaping/unescaping."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit.escape import escape_attr, escape_text, unescape
+
+
+class TestEscapeText:
+    def test_plain_text_unchanged(self):
+        assert escape_text("hello world") == "hello world"
+
+    def test_angle_brackets_escaped(self):
+        assert escape_text("a < b > c") == "a &lt; b &gt; c"
+
+    def test_ampersand_escaped_first(self):
+        assert escape_text("&lt;") == "&amp;lt;"
+
+    def test_empty(self):
+        assert escape_text("") == ""
+
+
+class TestEscapeAttr:
+    def test_quotes_escaped(self):
+        assert escape_attr('say "hi"') == "say &quot;hi&quot;"
+
+    def test_newline_and_tab_preserved_as_references(self):
+        assert escape_attr("a\nb\tc") == "a&#10;b&#9;c"
+
+    def test_angle_and_ampersand(self):
+        assert escape_attr("<&>") == "&lt;&amp;&gt;"
+
+
+class TestUnescape:
+    def test_named_entities(self):
+        assert unescape("&lt;&gt;&amp;&quot;&apos;") == "<>&\"'"
+
+    def test_decimal_reference(self):
+        assert unescape("&#65;") == "A"
+
+    def test_hex_reference(self):
+        assert unescape("&#x41;") == "A"
+        assert unescape("&#X41;") == "A"
+
+    def test_no_entities_fast_path(self):
+        text = "plain"
+        assert unescape(text) is text
+
+    def test_round_trip_text(self):
+        original = 'a <tag> & "quotes" é'
+        assert unescape(escape_text(original)) == original
+
+    def test_round_trip_attr(self):
+        original = 'a <tag> & "quotes"\n\ttail'
+        assert unescape(escape_attr(original)) == original
+
+    def test_unterminated_reference_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            unescape("&amp")
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            unescape("&nbsp;")
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            unescape("&;")
+
+    def test_bad_decimal_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            unescape("&#notanumber;")
+
+    def test_bad_hex_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            unescape("&#xZZ;")

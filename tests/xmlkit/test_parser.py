@@ -1,0 +1,139 @@
+"""The streaming XML parser."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XmlDeclaration,
+)
+from repro.xmlkit.parser import ContentHandler, iterparse, push_parse
+
+
+def events(text):
+    return list(iterparse(text))
+
+
+class TestBasicParsing:
+    def test_single_empty_element(self):
+        assert events("<a/>") == [StartElement("a"), EndElement("a")]
+
+    def test_element_with_text(self):
+        got = events("<a>hello</a>")
+        assert got == [
+            StartElement("a"), Characters("hello"), EndElement("a"),
+        ]
+
+    def test_nested_elements(self):
+        got = events("<a><b/><c/></a>")
+        names = [e.name for e in got if isinstance(e, StartElement)]
+        assert names == ["a", "b", "c"]
+
+    def test_attributes_double_and_single_quotes(self):
+        got = events("""<a x="1" y='two'/>""")
+        assert got[0] == StartElement("a", {"x": "1", "y": "two"})
+
+    def test_attribute_entities_resolved(self):
+        got = events('<a x="&lt;&amp;&gt;"/>')
+        assert got[0].attrs["x"] == "<&>"
+
+    def test_text_entities_resolved(self):
+        got = events("<a>&lt;tag&gt;</a>")
+        assert got[1] == Characters("<tag>")
+
+    def test_xml_declaration(self):
+        got = events('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert got[0] == XmlDeclaration("1.0", "UTF-8", None)
+
+    def test_comment(self):
+        got = events("<a><!-- note --></a>")
+        assert Comment(" note ") in got
+
+    def test_comment_before_root(self):
+        got = events("<!-- head --><a/>")
+        assert got[0] == Comment(" head ")
+
+    def test_processing_instruction(self):
+        got = events('<?pi some data?><a/>')
+        assert got[0] == ProcessingInstruction("pi", "some data")
+
+    def test_cdata_section(self):
+        got = events("<a><![CDATA[<raw> & stuff]]></a>")
+        assert got[1] == Characters("<raw> & stuff")
+
+    def test_doctype_skipped(self):
+        got = events("<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a/>")
+        assert got == [StartElement("a"), EndElement("a")]
+
+    def test_whitespace_between_elements_is_characters(self):
+        got = events("<a> <b/> </a>")
+        texts = [e.text for e in got if isinstance(e, Characters)]
+        assert texts == [" ", " "]
+
+    def test_namespaced_names(self):
+        got = events('<soap:Envelope xmlns:soap="ns"><soap:Body/>'
+                     "</soap:Envelope>")
+        assert got[0].name == "soap:Envelope"
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("bad", [
+        "<a>",                      # unclosed
+        "<a></b>",                  # mismatched
+        "</a>",                     # end without start
+        "<a/><b/>",                 # two roots
+        "text only",                # no root
+        "",                         # empty
+        "<a x=1/>",                 # unquoted attribute
+        '<a x="1" x="2"/>',         # duplicate attribute
+        "<a><!-- unterminated</a>",
+        "<a><![CDATA[open</a>",
+        '<a x="<"/>',               # literal < in attribute
+        "<a>&unknown;</a>",         # unknown entity
+        "<1bad/>",                  # bad name start
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(XmlSyntaxError):
+            events(bad)
+
+    def test_error_carries_location(self):
+        try:
+            events("<a>\n  <b></c>\n</a>")
+        except XmlSyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected XmlSyntaxError")
+
+
+class _Recorder(ContentHandler):
+    def __init__(self):
+        self.calls = []
+
+    def start_element(self, name, attrs):
+        self.calls.append(("start", name, dict(attrs)))
+
+    def end_element(self, name):
+        self.calls.append(("end", name))
+
+    def characters(self, text):
+        self.calls.append(("chars", text))
+
+
+class TestPushParse:
+    def test_drives_handler(self):
+        recorder = _Recorder()
+        push_parse('<a x="1"><b>t</b></a>', recorder)
+        assert recorder.calls == [
+            ("start", "a", {"x": "1"}),
+            ("start", "b", {}),
+            ("chars", "t"),
+            ("end", "b"),
+            ("end", "a"),
+        ]
+
+    def test_default_handler_ignores_everything(self):
+        push_parse("<a><b/>text</a>", ContentHandler())

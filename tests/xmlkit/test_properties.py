@@ -1,0 +1,68 @@
+"""Property-based tests: serialize/parse round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlkit.escape import escape_attr, escape_text, unescape
+from repro.xmlkit.tree import Element, parse_tree
+from repro.xmlkit.writer import serialize
+
+# Text without XML-forbidden control characters.
+_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"),
+    ),
+    max_size=40,
+)
+_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.-]{0,10}", fullmatch=True)
+
+
+@given(_text)
+def test_escape_text_round_trip(text):
+    assert unescape(escape_text(text)) == text
+
+
+@given(_text)
+def test_escape_attr_round_trip(text):
+    assert unescape(escape_attr(text)) == text
+
+
+@st.composite
+def elements(draw, depth=2):
+    name = draw(_names)
+    attrs = draw(
+        st.dictionaries(_names, _text, max_size=3)
+    )
+    node = Element(name, attrs)
+    # Leaves carry text; inner nodes carry children (no mixed content,
+    # matching the library's document model).
+    if depth > 0 and draw(st.booleans()):
+        for child in draw(
+            st.lists(elements(depth=depth - 1), max_size=3)
+        ):
+            node.children.append(child)
+    else:
+        node.text = draw(_text).strip()
+    return node
+
+
+def _normalized(node):
+    return (
+        node.name,
+        tuple(sorted(node.attrs.items())),
+        node.text.strip(),
+        tuple(_normalized(child) for child in node.children),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(elements(depth=3))
+def test_serialize_parse_round_trip(root):
+    parsed = parse_tree(serialize(root, indent=None))
+    assert _normalized(parsed) == _normalized(root)
+
+
+@settings(max_examples=30, deadline=None)
+@given(elements(depth=2))
+def test_serialization_is_deterministic(root):
+    assert serialize(root) == serialize(root)

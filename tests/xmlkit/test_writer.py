@@ -1,0 +1,84 @@
+"""Serialization: trees and the streaming writer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.xmlkit.tree import Element, parse_tree
+from repro.xmlkit.writer import XmlStreamWriter, serialize
+
+
+class TestSerialize:
+    def test_compact_empty_element(self):
+        text = serialize(Element("a"), indent=None)
+        assert text == '<?xml version="1.0"?><a/>'
+
+    def test_text_and_attrs_escaped(self):
+        node = Element("a", {"q": 'say "hi"'}, text="1 < 2")
+        text = serialize(node, indent=None, declaration=False)
+        assert text == '<a q="say &quot;hi&quot;">1 &lt; 2</a>'
+
+    def test_indented_output(self):
+        root = Element("a")
+        root.append(Element("b", text="x"))
+        text = serialize(root)
+        assert "\n  <b>x</b>\n" in text
+
+    def test_round_trip(self):
+        original = '<a p="1"><b>text &amp; more</b><c/></a>'
+        tree = parse_tree(original)
+        again = parse_tree(serialize(tree, indent=None))
+        assert serialize(tree) == serialize(again)
+
+
+class TestXmlStreamWriter:
+    def test_balanced_document(self):
+        writer = XmlStreamWriter(declaration=False)
+        writer.start("site", {"id": "1"})
+        writer.leaf("name", "ACME")
+        writer.end("site")
+        assert writer.getvalue() == '<site id="1"><name>ACME</name></site>'
+
+    def test_mismatched_end_raises(self):
+        writer = XmlStreamWriter()
+        writer.start("a")
+        with pytest.raises(ReproError):
+            writer.end("b")
+
+    def test_end_without_start_raises(self):
+        writer = XmlStreamWriter()
+        with pytest.raises(ReproError):
+            writer.end("a")
+
+    def test_getvalue_with_open_elements_raises(self):
+        writer = XmlStreamWriter()
+        writer.start("a")
+        with pytest.raises(ReproError):
+            writer.getvalue()
+
+    def test_write_after_root_closed_raises(self):
+        writer = XmlStreamWriter()
+        writer.start("a")
+        writer.end("a")
+        with pytest.raises(ReproError):
+            writer.start("b")
+
+    def test_characters_outside_root_raise(self):
+        writer = XmlStreamWriter()
+        with pytest.raises(ReproError):
+            writer.characters("loose")
+
+    def test_output_is_parseable(self):
+        writer = XmlStreamWriter()
+        writer.start("doc")
+        for index in range(3):
+            writer.leaf("item", f"value {index}", {"n": str(index)})
+        writer.end("doc")
+        root = parse_tree(writer.getvalue())
+        assert len(root.find_all("item")) == 3
+
+    def test_bytes_written_grows(self):
+        writer = XmlStreamWriter(declaration=False)
+        writer.start("a")
+        before = writer.bytes_written()
+        writer.leaf("b", "text")
+        assert writer.bytes_written() > before
