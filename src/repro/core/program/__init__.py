@@ -15,12 +15,17 @@ from repro.core.program.builder import (
     enumerate_transfer_programs,
 )
 from repro.core.program.dag import Edge, TransferProgram
-from repro.core.program.executor import ExecutionReport, ProgramExecutor
+from repro.core.program.executor import (
+    ExecutionReport,
+    ProgramExecutor,
+    critical_path_seconds,
+)
 from repro.core.program.parallel import (
     ParallelEstimate,
     partition_expressions,
     simulate_parallel_makespan,
 )
+from repro.core.program.parallel_executor import ParallelProgramExecutor
 from repro.core.program.serialize import (
     program_from_dict,
     program_from_json,
@@ -36,6 +41,8 @@ __all__ = [
     "build_transfer_program",
     "enumerate_transfer_programs",
     "ProgramExecutor",
+    "ParallelProgramExecutor",
+    "critical_path_seconds",
     "ParallelEstimate",
     "partition_expressions",
     "simulate_parallel_makespan",

@@ -63,11 +63,22 @@ class OperationTiming:
     location: Location
     seconds: float
     rows: int
+    op_id: int = -1
 
 
 @dataclass(slots=True)
 class ExecutionReport:
-    """Aggregate metrics of one program execution."""
+    """Aggregate metrics of one program execution.
+
+    ``wall_seconds`` is the end-to-end wall-clock time of the run;
+    sequentially it equals ``total_seconds`` up to bookkeeping overhead,
+    in parallel it is the measured makespan.  ``critical_path_seconds``
+    is the longest compute+ship chain through the DAG — the floor no
+    amount of parallelism can beat.  Per-cross-edge shipment bytes and
+    seconds are kept in ``shipment_bytes``/``shipment_seconds`` (keyed
+    by producer port) so makespan estimators can attribute
+    communication by actual volume.
+    """
 
     op_timings: list[OperationTiming] = field(default_factory=list)
     comp_seconds: dict[Location, float] = field(
@@ -79,6 +90,14 @@ class ExecutionReport:
     comm_seconds: float = 0.0
     shipments: int = 0
     rows_written: int = 0
+    wall_seconds: float = 0.0
+    critical_path_seconds: float = 0.0
+    shipment_bytes: dict[tuple[int, int], int] = field(
+        default_factory=dict
+    )
+    shipment_seconds: dict[tuple[int, int], float] = field(
+        default_factory=dict
+    )
 
     @property
     def source_seconds(self) -> float:
@@ -138,11 +157,13 @@ class ProgramExecutor:
             placement = program.placement_from_nodes()
         program.validate_placement(placement)
 
+        started = time.perf_counter()
         report = ExecutionReport()
         # In-flight values keyed by producer port, tagged with the
         # system currently holding them.
         values: dict[tuple[int, int], tuple[FragmentInstance, Location]]
         values = {}
+        consumed: set[tuple[int, int]] = set()
 
         for node in program.topological_order():
             location = placement[node.op_id]
@@ -152,20 +173,30 @@ class ProgramExecutor:
                 try:
                     instance, holder = values.pop(key)
                 except KeyError as exc:
+                    if key in consumed:
+                        detail = "consumed twice"
+                    else:
+                        detail = (
+                            "was never produced (malformed edge or "
+                            "missing operation output)"
+                        )
                     raise ProgramError(
                         f"value for {edge.producer.label()} output "
-                        f"{edge.output_index} consumed twice"
+                        f"{edge.output_index} {detail}"
                     ) from exc
+                consumed.add(key)
                 if holder is not location:
                     shipment = self.channel.ship_fragment(instance)
                     report.comm_bytes += shipment.bytes_sent
                     report.comm_seconds += shipment.seconds
                     report.shipments += 1
+                    report.shipment_bytes[key] = shipment.bytes_sent
+                    report.shipment_seconds[key] = shipment.seconds
                 inputs.append(instance)
             outputs, elapsed, rows = self._execute(node, location, inputs)
             report.op_timings.append(
                 OperationTiming(node.label(), node.kind, location,
-                                elapsed, rows)
+                                elapsed, rows, node.op_id)
             )
             report.comp_seconds[location] += elapsed
             if node.kind == "write":
@@ -177,27 +208,69 @@ class ProgramExecutor:
                 f"op {op_id} port {port}" for op_id, port in values
             )
             raise ProgramError(f"unconsumed program outputs: {leftovers}")
+        report.wall_seconds = time.perf_counter() - started
+        report.critical_path_seconds = critical_path_seconds(
+            program, report
+        )
         return report
 
     def _execute(self, node: Operation, location: Location,
                  inputs: list[FragmentInstance]
                  ) -> tuple[list[FragmentInstance], float, int]:
-        endpoint = self._endpoint(location)
-        start = time.perf_counter()
-        if isinstance(node, Scan):
-            outputs = [endpoint.scan(node.fragment)]
-            rows = outputs[0].row_count()
-        elif isinstance(node, Combine):
-            outputs = [node.apply(inputs[0], inputs[1])]
-            rows = outputs[0].row_count()
-        elif isinstance(node, Split):
-            outputs = node.apply(inputs[0])
-            rows = sum(output.row_count() for output in outputs)
-        elif isinstance(node, Write):
-            endpoint.write(node.fragment, inputs[0])
-            outputs = []
-            rows = inputs[0].row_count()
-        else:
-            raise ProgramError(f"unknown operation kind {node.kind!r}")
-        elapsed = time.perf_counter() - start
-        return outputs, elapsed, rows
+        return execute_operation(node, self._endpoint(location), inputs)
+
+
+def execute_operation(node: Operation, endpoint: DataEndpoint,
+                      inputs: list[FragmentInstance]
+                      ) -> tuple[list[FragmentInstance], float, int]:
+    """Run one primitive operation against ``endpoint`` and time it.
+
+    Shared by the sequential and the parallel executor so both delegate
+    Scan/Write identically and measure the same thing.
+
+    Raises:
+        ProgramError: on an unknown operation kind.
+    """
+    start = time.perf_counter()
+    if isinstance(node, Scan):
+        outputs = [endpoint.scan(node.fragment)]
+        rows = outputs[0].row_count()
+    elif isinstance(node, Combine):
+        outputs = [node.apply(inputs[0], inputs[1])]
+        rows = outputs[0].row_count()
+    elif isinstance(node, Split):
+        outputs = node.apply(inputs[0])
+        rows = sum(output.row_count() for output in outputs)
+    elif isinstance(node, Write):
+        endpoint.write(node.fragment, inputs[0])
+        outputs = []
+        rows = inputs[0].row_count()
+    else:
+        raise ProgramError(f"unknown operation kind {node.kind!r}")
+    elapsed = time.perf_counter() - start
+    return outputs, elapsed, rows
+
+
+def critical_path_seconds(program: TransferProgram,
+                          report: ExecutionReport) -> float:
+    """Longest compute+ship chain through the DAG, from measured times.
+
+    Per-operation seconds come from the report's timings (matched by
+    ``op_id``); a cross-edge adds its recorded shipment seconds.  This
+    is the lower bound on the makespan of any parallel schedule.
+    """
+    seconds_by_op = {
+        timing.op_id: timing.seconds for timing in report.op_timings
+    }
+    finish: dict[int, float] = {}
+    for node in program.topological_order():
+        arrival = 0.0
+        for edge in program.in_edges(node):
+            key = (edge.producer.op_id, edge.output_index)
+            arrival = max(
+                arrival,
+                finish.get(edge.producer.op_id, 0.0)
+                + report.shipment_seconds.get(key, 0.0),
+            )
+        finish[node.op_id] = arrival + seconds_by_op.get(node.op_id, 0.0)
+    return max(finish.values(), default=0.0)

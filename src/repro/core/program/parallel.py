@@ -83,19 +83,26 @@ def simulate_parallel_makespan(program: TransferProgram,
     concurrent streams, from a sequential run's measurements.
 
     Each independent group's duration is the sum of its operations'
-    measured times plus its share of communication time (attributed by
-    the bytes of its cross-edges).  Groups are then list-scheduled
-    longest-first onto the workers.
+    measured times plus its share of communication time, attributed by
+    the *bytes* its cross-edges actually shipped (``report.
+    shipment_bytes``); when the report carries no per-edge byte
+    accounting every cross-edge weighs the same.  Groups are then
+    list-scheduled longest-first onto the workers.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     groups = partition_expressions(program)
-    # Per-op measured seconds, in execution order (labels can repeat,
-    # so match positionally via topological order = execution order).
-    ordered = program.topological_order()
+    # Per-op measured seconds.  Timings carry the op id; fall back to
+    # positional matching (topological order = sequential execution
+    # order) for reports recorded without ids.
     seconds_by_op: dict[int, float] = {}
-    for node, timing in zip(ordered, report.op_timings):
-        seconds_by_op[node.op_id] = timing.seconds
+    if all(timing.op_id >= 0 for timing in report.op_timings):
+        for timing in report.op_timings:
+            seconds_by_op[timing.op_id] = timing.seconds
+    else:
+        ordered = program.topological_order()
+        for node, timing in zip(ordered, report.op_timings):
+            seconds_by_op[node.op_id] = timing.seconds
 
     cross = program.cross_edges(placement)
     group_of: dict[int, int] = {}
@@ -104,7 +111,10 @@ def simulate_parallel_makespan(program: TransferProgram,
             group_of[node.op_id] = index
     cross_weight = [0.0] * len(groups)
     for edge in cross:
-        cross_weight[group_of[edge.producer.op_id]] += 1.0
+        key = (edge.producer.op_id, edge.output_index)
+        weight = float(report.shipment_bytes.get(key, 1.0)) \
+            if report.shipment_bytes else 1.0
+        cross_weight[group_of[edge.producer.op_id]] += weight
     total_weight = sum(cross_weight) or 1.0
 
     durations = []

@@ -14,6 +14,8 @@ totals.  Two fidelity levels:
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 
 from repro.errors import TransportError
@@ -46,16 +48,27 @@ class NetworkProfile:
 
 
 class SimulatedChannel:
-    """One-way source → target data channel with byte/time accounting."""
+    """One-way source → target data channel with byte/time accounting.
+
+    Accounting is thread-safe: concurrent shippers (the parallel
+    executor pipelines transfers against computation) may charge the
+    channel from multiple threads.  With ``realtime=True`` every send
+    also *sleeps* its simulated transfer time, so a measured wall clock
+    feels the link; concurrent sends sleep concurrently, modelling one
+    transfer stream per in-flight fragment.
+    """
 
     def __init__(self, profile: NetworkProfile | None = None,
-                 wire_format: bool = False) -> None:
+                 wire_format: bool = False,
+                 realtime: bool = False) -> None:
         self.profile = profile or NetworkProfile()
         self.wire_format = wire_format
+        self.realtime = realtime
         self.total_bytes = 0
         self.total_seconds = 0.0
         self.messages = 0
         self._closed = False
+        self._lock = threading.Lock()
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -65,17 +78,21 @@ class SimulatedChannel:
 
     def reset(self) -> None:
         """Zero the counters (fresh measurement window)."""
-        self.total_bytes = 0
-        self.total_seconds = 0.0
-        self.messages = 0
+        with self._lock:
+            self.total_bytes = 0
+            self.total_seconds = 0.0
+            self.messages = 0
 
     def _charge(self, size_bytes: int) -> Shipment:
         if self._closed:
             raise TransportError("channel is closed")
         seconds = self.transfer_cost(size_bytes)
-        self.total_bytes += size_bytes
-        self.total_seconds += seconds
-        self.messages += 1
+        with self._lock:
+            self.total_bytes += size_bytes
+            self.total_seconds += seconds
+            self.messages += 1
+        if self.realtime:
+            time.sleep(seconds)
         return Shipment(size_bytes, seconds)
 
     # -- cost interface (used by probes) ---------------------------------------------

@@ -12,6 +12,7 @@ id`` (a sorted feed, as in [5, 6]).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.errors import RelationalError, TableError
@@ -178,6 +179,12 @@ class FragmentRelationMapper:
             fragment.name: _FragmentLayout(fragment)
             for fragment in fragmentation
         }
+        # One lock per fragment table: the parallel executor scans and
+        # writes concurrently, and while distinct fragments always hit
+        # distinct tables, same-table access must serialize.
+        self._table_locks: dict[str, threading.Lock] = {
+            name: threading.Lock() for name in self.layouts
+        }
 
     def layout_for(self, fragment: Fragment) -> _FragmentLayout:
         """The layout of ``fragment``'s table.
@@ -257,7 +264,8 @@ class FragmentRelationMapper:
             layout.row_from_occurrence(row.data, row.parent)
             for row in instance.rows
         ]
-        return db.load(layout.table_name, rows)
+        with self._table_locks[fragment.name]:
+            return db.load(layout.table_name, rows)
 
     # -- scanning ----------------------------------------------------------------------
 
@@ -265,9 +273,10 @@ class FragmentRelationMapper:
                       fragment: Fragment) -> FragmentInstance:
         """Read a fragment back as a sorted feed (Scan, Def. 3.6)."""
         layout = self.layout_for(fragment)
-        result = db.execute(
-            f"SELECT * FROM {layout.table_name} ORDER BY parent, id"
-        )
+        with self._table_locks[fragment.name]:
+            result = db.execute(
+                f"SELECT * FROM {layout.table_name} ORDER BY parent, id"
+            )
         positions = {
             name.lower(): index
             for index, name in enumerate(result.columns)

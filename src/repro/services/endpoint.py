@@ -11,6 +11,7 @@ middleware's models use.
 from __future__ import annotations
 
 import abc
+import threading
 
 from repro.errors import EndpointError
 from repro.core.cost.estimates import StatisticsCatalog
@@ -39,6 +40,9 @@ class SystemEndpoint(abc.ABC):
         self.name = name
         self.machine = machine or MachineProfile(name)
         self._statistics: StatisticsCatalog | None = None
+        # Serializes whole-store access for endpoints without finer
+        # locking; the parallel executor calls scan/write concurrently.
+        self._store_lock = threading.RLock()
 
     # -- data interface (used by the program executor) ---------------------
 
@@ -156,17 +160,19 @@ class InMemoryEndpoint(SystemEndpoint):
         self.store[instance.fragment.name] = instance
 
     def scan(self, fragment: Fragment) -> FragmentInstance:
-        try:
-            stored = self.store[fragment.name]
-        except KeyError as exc:
-            raise EndpointError(
-                f"{self.name!r} stores no fragment {fragment.name!r}"
-            ) from exc
-        return stored.copy()
+        with self._store_lock:
+            try:
+                stored = self.store[fragment.name]
+            except KeyError as exc:
+                raise EndpointError(
+                    f"{self.name!r} stores no fragment {fragment.name!r}"
+                ) from exc
+            return stored.copy()
 
     def write(self, fragment: Fragment,
               instance: FragmentInstance) -> None:
-        self.store[fragment.name] = instance
+        with self._store_lock:
+            self.store[fragment.name] = instance
 
 
 class DirectoryEndpoint(SystemEndpoint):
@@ -201,13 +207,14 @@ class DirectoryEndpoint(SystemEndpoint):
         return f"{fragment.root_name.upper()}_T"
 
     def scan(self, fragment: Fragment) -> FragmentInstance:
-        try:
-            return self._written[fragment.name].copy()
-        except KeyError as exc:
-            raise EndpointError(
-                f"directory {self.name!r} holds no fragment "
-                f"{fragment.name!r}"
-            ) from exc
+        with self._store_lock:
+            try:
+                return self._written[fragment.name].copy()
+            except KeyError as exc:
+                raise EndpointError(
+                    f"directory {self.name!r} holds no fragment "
+                    f"{fragment.name!r}"
+                ) from exc
 
     def write(self, fragment: Fragment,
               instance: FragmentInstance) -> None:
@@ -218,8 +225,9 @@ class DirectoryEndpoint(SystemEndpoint):
         fragment can land before the fragment holding its parent
         entries — the directory tree can only be built parent-first.
         """
-        self._written[fragment.name] = instance
-        self._materialized = False
+        with self._store_lock:
+            self._written[fragment.name] = instance
+            self._materialized = False
 
     def materialize(self) -> DirectoryStore:
         """(Re)build the directory tree from every written fragment.

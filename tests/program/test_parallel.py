@@ -2,9 +2,14 @@
 
 import pytest
 
+from repro.core.fragment import Fragment
 from repro.core.mapping import derive_mapping
+from repro.core.ops.scan import Scan
+from repro.core.ops.split import Split
+from repro.core.ops.write import Write
 from repro.core.optimizer.placement import source_heavy_placement
 from repro.core.program.builder import build_transfer_program
+from repro.core.program.dag import TransferProgram
 from repro.core.program.executor import ProgramExecutor
 from repro.core.program.parallel import (
     partition_expressions,
@@ -35,6 +40,63 @@ class TestPartitionExpressions:
         assert len(groups) == 3
         sizes = sorted(len(group) for group in groups)
         assert sizes == [2, 4, 6]
+
+    def test_split_feeding_two_writes_merges_groups(
+            self, customers_schema):
+        """A Split fanning out to several Writes is one group, while an
+        unrelated Scan -> Write ladder stays its own group."""
+        line_all = Fragment(
+            customers_schema,
+            ["Line", "TelNo", "Switch", "SwitchID", "Feature",
+             "FeatureID"],
+            "Line_All",
+        )
+        line_switch = Fragment(
+            customers_schema,
+            ["Line", "TelNo", "Switch", "SwitchID"], "Line_Switch",
+        )
+        feature = Fragment(
+            customers_schema, ["Feature", "FeatureID"], "Feature"
+        )
+        customer = Fragment(
+            customers_schema, ["Customer", "CustName"], "Customer"
+        )
+        program = TransferProgram()
+        scan = program.add(Scan(line_all))
+        split = program.add(Split(line_all, [line_switch, feature]))
+        write_ls = program.add(Write(line_switch))
+        write_f = program.add(Write(feature))
+        program.connect(scan, 0, split, 0)
+        program.connect(split, 0, write_ls, 0)
+        program.connect(split, 1, write_f, 0)
+        ladder_scan = program.add(Scan(customer))
+        ladder_write = program.add(Write(customer))
+        program.connect(ladder_scan, 0, ladder_write, 0)
+
+        groups = partition_expressions(program)
+        assert sorted(len(group) for group in groups) == [2, 4]
+        merged = next(g for g in groups if len(g) == 4)
+        assert {node.op_id for node in merged} == {
+            scan.op_id, split.op_id, write_ls.op_id, write_f.op_id
+        }
+
+    def test_scan_write_ladders_stay_separate(self, customers_schema):
+        """Pure Scan -> Write ladders never merge: one group per pair."""
+        fragments = [
+            Fragment(customers_schema, ["Customer", "CustName"],
+                     "Customer"),
+            Fragment(customers_schema, ["Switch", "SwitchID"], "Switch"),
+            Fragment(customers_schema, ["Feature", "FeatureID"],
+                     "Feature"),
+        ]
+        program = TransferProgram()
+        for fragment in fragments:
+            scan = program.add(Scan(fragment))
+            write = program.add(Write(fragment))
+            program.connect(scan, 0, write, 0)
+        groups = partition_expressions(program)
+        assert len(groups) == len(fragments)
+        assert all(len(group) == 2 for group in groups)
 
     def test_groups_cover_all_nodes(self, auction_mf, auction_lf):
         program = build_transfer_program(
@@ -94,6 +156,30 @@ class TestMakespan:
             if previous is not None:
                 assert estimate.parallel_seconds <= previous + 1e-12
             previous = estimate.parallel_seconds
+
+    def test_comm_attributed_by_shipped_bytes(self, run):
+        """Communication time follows the bytes each cross-edge
+        actually shipped, not the number of cross-edges."""
+        program, placement, report = run
+        report.comm_seconds = 10.0
+        cross = program.cross_edges(placement)
+        assert len(cross) > 1
+        keys = [
+            (edge.producer.op_id, edge.output_index) for edge in cross
+        ]
+        # All bytes on one edge: its group absorbs all 10 seconds.
+        report.shipment_bytes = {key: 0 for key in keys}
+        report.shipment_bytes[keys[0]] = 1_000
+        concentrated = simulate_parallel_makespan(
+            program, placement, report, workers=8
+        )
+        # No byte accounting: fall back to uniform per-edge weights.
+        report.shipment_bytes = {}
+        uniform = simulate_parallel_makespan(
+            program, placement, report, workers=8
+        )
+        assert concentrated.parallel_seconds >= 10.0
+        assert uniform.parallel_seconds < concentrated.parallel_seconds
 
     def test_bad_workers_rejected(self, run):
         program, placement, report = run

@@ -57,6 +57,29 @@ class TestExchangeCosts:
         # Figure 11: the reduction grows with a 10x faster target.
         assert fast.reduction_percent > equal.reduction_percent
 
+    def test_parallel_estimate_compresses_de_side(self, simulator,
+                                                  fragmentations):
+        from repro.core.program.parallel import ParallelEstimate
+
+        source_fragmentation, target_fragmentation = fragmentations
+        sequential = simulator.exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"), order_limit=40,
+        )
+        parallel = simulator.exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"), order_limit=40,
+            parallel=ParallelEstimate(
+                sequential_seconds=2.0, parallel_seconds=1.0,
+                groups=4, workers=4,
+            ),
+        )
+        # The DE side shrinks by the measured speedup; the publishing
+        # baseline stays sequential, so the reduction grows.
+        assert parallel.exchange.total < sequential.exchange.total
+        assert parallel.publish.total == sequential.publish.total
+        assert parallel.reduction_percent > sequential.reduction_percent
+
     def test_publish_cost_all_at_source(self, simulator,
                                         fragmentations):
         source_fragmentation, _ = fragmentations

@@ -64,6 +64,14 @@ class TestExchangeCommand:
         with pytest.raises(SystemExit):
             main(["exchange", "S", "T"], io.StringIO())
 
+    def test_parallel_workers(self):
+        output = run_cli(
+            "exchange", "MF", "MF", "--size", "2.5",
+            "--scale", "0.02", "--workers", "2",
+        )
+        assert "parallel program execution (2 workers)" in output
+        assert "s wall" in output
+
 
 class TestSimulateCommand:
     def test_table5_config(self):
