@@ -5,6 +5,7 @@ Usage::
     python -m repro program MF LF            # print the negotiated program
     python -m repro exchange MF LF --size 25 # run DE vs publish&map
     python -m repro exchange MF MF --workers 4   # parallel DE execution
+    python -m repro exchange MF MF --batch-rows 64  # streaming dataplane
     python -m repro wsdl LF                  # the registration document
     python -m repro simulate --ratio 1/5     # a Table 5 configuration
 
@@ -124,6 +125,10 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         raise SystemExit(
             f"--workers must be >= 1, got {args.workers}"
         )
+    if args.batch_rows is not None and args.batch_rows < 1:
+        raise SystemExit(
+            f"--batch-rows must be >= 1, got {args.batch_rows}"
+        )
     source_frag, target_frag = _resolve_pair(args.source, args.target)
     document = generate_xmark_document(
         scaled_bytes(args.size, scale=args.scale), seed=args.seed
@@ -139,6 +144,7 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         program, placement, source, de_target, SimulatedChannel(),
         f"{args.source}->{args.target}",
         parallel_workers=args.workers,
+        batch_rows=args.batch_rows,
     )
     pm_target = RelationalEndpoint("pm-target", target_frag)
     pm = run_publish_and_map(
@@ -167,6 +173,13 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         print(
             f"parallel program execution ({args.workers} workers): "
             f"{de.wall_seconds:.3f}s wall",
+            file=out,
+        )
+    if args.batch_rows is not None:
+        print(
+            f"streaming dataplane (batch_rows={args.batch_rows}): "
+            f"peak {de.peak_resident_rows} resident rows "
+            f"({de.peak_resident_bytes:,} bytes)",
             file=out,
         )
     return 0
@@ -253,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="run the DE program phase with this many parallel "
              "workers (1 = sequential, the paper's setup)",
+    )
+    exchange.add_argument(
+        "--batch-rows", type=int, default=None,
+        help="stream the DE program phase in row batches of this size "
+             "(bounded memory; default: materialized instances)",
     )
     exchange.set_defaults(handler=cmd_exchange)
 

@@ -129,6 +129,25 @@ class FragmentRow:
         return self.data.eid
 
 
+def row_estimated_size(row: FragmentRow) -> int:
+    """Approximate serialized (tagged XML) size of one row in bytes,
+    including its ID/PARENT exposure.  The per-row unit both the
+    materialized :meth:`FragmentInstance.estimated_size` and the batch
+    dataplane (:class:`~repro.core.stream.RowBatch`) account in."""
+    return row.data.estimated_size() + 24  # ID/PARENT exposure
+
+
+def row_feed_size(row: FragmentRow) -> int:
+    """Approximate size of one row as part of a tabular *sorted feed*:
+    keys and values only, no tags — the DE wire format (the paper ships
+    fragments as sorted feeds, cf. Section 4.1 and Table 3)."""
+    total = 8  # the PARENT key
+    for node in row.data.iter_all():
+        total += 10 + len(node.text)  # key + separators
+        total += sum(len(value) for value in node.attrs.values())
+    return total
+
+
 class FragmentInstance:
     """A feed of :class:`FragmentRow` conforming to one fragment.
 
@@ -163,24 +182,13 @@ class FragmentInstance:
 
     def estimated_size(self) -> int:
         """Approximate serialized (tagged XML) size in bytes."""
-        return sum(
-            row.data.estimated_size() + 24  # ID/PARENT exposure
-            for row in self.rows
-        )
+        return sum(row_estimated_size(row) for row in self.rows)
 
     def feed_size(self) -> int:
         """Approximate size as a tabular *sorted feed*: keys and values
         only, no tags — the DE wire format (the paper ships fragments
         as sorted feeds, cf. Section 4.1 and Table 3)."""
-        total = 0
-        for row in self.rows:
-            total += 8  # the PARENT key
-            for node in row.data.iter_all():
-                total += 10 + len(node.text)  # key + separators
-                total += sum(
-                    len(value) for value in node.attrs.values()
-                )
-        return total
+        return sum(row_feed_size(row) for row in self.rows)
 
     def copy(self) -> "FragmentInstance":
         """Deep copy of the feed."""

@@ -6,13 +6,30 @@ the occurrence of ``f2``'s schema parent whose id matches the row's
 repetition of the inlined element are recovered from the schema
 (:meth:`repro.core.instance.ElementData.to_xml` serializes children in
 schema order).
+
+Two evaluation strategies share these semantics: :meth:`Combine.apply`
+consumes whole materialized instances, and :meth:`Combine.apply_batches`
+runs a streaming grouped merge over :class:`~repro.core.stream.RowBatch`
+pipelines — child rows are buffered (grouped by their PARENT key, the
+frontier of rows still awaiting their parents) while the parent side,
+which accumulates the combined result and is the large side in a
+combine chain, streams through batch by batch.
 """
 
 from __future__ import annotations
 
+import time
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import OperationError
 from repro.core.fragment import Fragment
-from repro.core.instance import FragmentInstance
+from repro.core.instance import (
+    FragmentInstance,
+    FragmentRow,
+    row_estimated_size,
+)
 from repro.core.ops.base import Location, Operation
+from repro.core.stream import ResidencyMeter, RowBatch
 
 
 class Combine(Operation):
@@ -44,3 +61,81 @@ class Combine(Operation):
               child: FragmentInstance) -> FragmentInstance:
         """Instance-level combine (consumes both inputs)."""
         return parent.combine(child, self.result.name)
+
+    def apply_batches(self, parent: Iterable[RowBatch],
+                      child: Iterable[RowBatch], *,
+                      tick: Callable[[float, int], None] | None = None,
+                      meter: ResidencyMeter | None = None
+                      ) -> Iterator[RowBatch]:
+        """Streaming grouped merge (same semantics as :meth:`apply`).
+
+        The child stream is drained first into a PARENT-keyed frontier
+        of pending rows; parent batches then stream through, each row
+        adopting its pending children, and are re-emitted under the
+        result fragment — so only the child frontier plus one parent
+        batch is resident here at any time.  Emitted rows are the
+        parent's own row objects in their original order, and children
+        attach per anchor in child-feed order: byte-identical to the
+        materialized path.
+
+        ``tick(seconds, rows)`` reports local work (excluding upstream
+        production time) to the executor's per-operation accounting;
+        ``meter`` tracks row residency.
+
+        Raises:
+            OperationError: if child rows reference parent occurrences
+                that never arrive.  Detection happens at end-of-stream,
+                after earlier parent batches were already forwarded
+                downstream — a failed streaming run may leave partial
+                output behind where the materialized path leaves none.
+        """
+        result_fragment = self.result
+        anchor = self.child_fragment.parent_element()
+        parent_name = self.parent_fragment.name
+        child_name = self.child_fragment.name
+
+        def generate() -> Iterator[RowBatch]:
+            pending: dict[int, list[FragmentRow]] = {}
+            for batch in child:
+                started = time.perf_counter()
+                for row in batch.rows:
+                    key = row.parent if row.parent is not None else -1
+                    pending.setdefault(key, []).append(row)
+                if tick is not None:
+                    tick(time.perf_counter() - started, 0)
+            seq = 0
+            for batch in parent:
+                started = time.perf_counter()
+                in_rows = len(batch.rows)
+                in_bytes = batch.estimated_size() if meter else 0
+                attached_rows = 0
+                attached_bytes = 0
+                for row in batch.rows:
+                    for occurrence in row.data.occurrences_of(anchor):
+                        group = pending.pop(occurrence.eid, None)
+                        if group is None:
+                            continue
+                        for child_row in group:
+                            if meter is not None:
+                                attached_rows += 1
+                                attached_bytes += row_estimated_size(
+                                    child_row
+                                )
+                            occurrence.add_child(child_row.data)
+                out = RowBatch(result_fragment, batch.rows, seq)
+                seq += 1
+                if tick is not None:
+                    tick(time.perf_counter() - started, len(out.rows))
+                if meter is not None:
+                    meter.acquire(len(out.rows), out.estimated_size())
+                    meter.release(in_rows + attached_rows,
+                                  in_bytes + attached_bytes)
+                yield out
+            if pending:
+                orphans = sum(len(group) for group in pending.values())
+                raise OperationError(
+                    f"combine({parent_name!r}, {child_name!r}):"
+                    f" {orphans} child rows reference missing parents"
+                )
+
+        return generate()

@@ -3,15 +3,28 @@
 ``Split(f, f1, ..., fn)`` partitions ``f``'s elements into fragments
 ``f1 ... fn``, introducing fresh ``ID``/``PARENT`` exposure on each piece
 to preserve the parent/child relationships the schema dictates.
+
+Like ``Combine``, the operation evaluates two ways: :meth:`Split.apply`
+over whole instances, and :meth:`Split.apply_batches`, which maps the
+instance-level split over each input batch independently — splitting is
+row-local, so concatenating the per-batch piece rows reproduces the
+materialized output exactly.  Because the n piece streams are drained
+by different consumers, undrained piece batches queue inside a shared
+(thread-safe) state; at most one input batch is split ahead of the
+slowest consumer's need.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.fragment import Fragment
 from repro.core.instance import FragmentInstance
 from repro.core.ops.base import Location, Operation
+from repro.core.stream import ResidencyMeter, RowBatch
 
 
 class Split(Operation):
@@ -41,3 +54,89 @@ class Split(Operation):
     def apply(self, instance: FragmentInstance) -> list[FragmentInstance]:
         """Instance-level split (consumes the input)."""
         return instance.split(list(self.pieces))
+
+    def apply_batches(self, batches: Iterable[RowBatch], *,
+                      tick: Callable[[float, int], None] | None = None,
+                      meter: ResidencyMeter | None = None
+                      ) -> list[Iterator[RowBatch]]:
+        """Streaming split: one output batch iterator per piece.
+
+        Each pulled input batch is split with the instance-level
+        semantics and its piece rows are queued on every piece's
+        output; pulling any piece refills from the input as needed.
+        Safe to drain from concurrent threads (the parallel executor
+        runs each downstream expression in its own task).
+        """
+        state = _SplitBatchState(self, iter(batches), tick, meter)
+        return [state.stream(index) for index in range(len(self.pieces))]
+
+
+class _SplitBatchState:
+    """Shared refill state behind the piece streams of one Split."""
+
+    def __init__(self, op: Split, batches: Iterator[RowBatch],
+                 tick: Callable[[float, int], None] | None,
+                 meter: ResidencyMeter | None) -> None:
+        self._op = op
+        self._batches = batches
+        self._tick = tick
+        self._meter = meter
+        self._lock = threading.Lock()
+        self._queues: list[deque[RowBatch]] = [
+            deque() for _ in op.pieces
+        ]
+        self._seqs = [0] * len(op.pieces)
+        self._exhausted = False
+        self._failure: BaseException | None = None
+
+    def _refill(self) -> None:
+        """Split one more input batch into the queues (lock held).
+
+        Raises:
+            StopIteration: when the input stream is exhausted.
+        """
+        batch = next(self._batches)
+        started = time.perf_counter()
+        in_bytes = batch.estimated_size() if self._meter else 0
+        pieces = FragmentInstance(
+            self._op.fragment, batch.rows
+        ).split(list(self._op.pieces))
+        rows = sum(len(piece.rows) for piece in pieces)
+        if self._tick is not None:
+            self._tick(time.perf_counter() - started, rows)
+        for index, piece in enumerate(pieces):
+            if not piece.rows:
+                continue
+            if self._meter is not None:
+                self._meter.acquire(
+                    len(piece.rows), piece.estimated_size()
+                )
+            self._queues[index].append(
+                RowBatch(piece.fragment, piece.rows, self._seqs[index])
+            )
+            self._seqs[index] += 1
+        if self._meter is not None:
+            self._meter.release(len(batch.rows), in_bytes)
+
+    def _pull(self, index: int) -> RowBatch | None:
+        with self._lock:
+            while not self._queues[index]:
+                if self._failure is not None:
+                    raise self._failure
+                if self._exhausted:
+                    return None
+                try:
+                    self._refill()
+                except StopIteration:
+                    self._exhausted = True
+                except BaseException as exc:
+                    self._failure = exc
+                    raise
+            return self._queues[index].popleft()
+
+    def stream(self, index: int) -> Iterator[RowBatch]:
+        while True:
+            batch = self._pull(index)
+            if batch is None:
+                return
+            yield batch

@@ -6,6 +6,16 @@ Defs. 3.6/3.9); ``Combine`` and ``Split`` run wherever their node is
 placed, and their elapsed time is attributed to that system.  When an
 edge crosses systems the value is shipped through the channel, which
 accounts bytes and simulated transfer time (Section 4.1's ``comm_cost``).
+
+Two dataplanes share this interface.  With ``batch_rows=None`` (the
+default, the paper's setup) every edge carries a whole materialized
+:class:`~repro.core.instance.FragmentInstance`.  With ``batch_rows=N``
+the run moves :class:`~repro.core.stream.RowBatch` slices end to end
+instead (see :mod:`repro.core.program.streaming`): scans produce
+batches, combines/splits transform them, writes store them as they
+arrive, and cross-edges ship them chunked — peak resident rows are
+bounded by the batch size times the pipeline depth rather than by the
+document, while the written output stays byte-identical.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from repro.core.ops.scan import Scan
 from repro.core.ops.split import Split
 from repro.core.ops.write import Write
 from repro.core.program.dag import Placement, TransferProgram
+from repro.core.stream import FragmentStream, ResidencyMeter, RowBatch
 
 
 class DataEndpoint(Protocol):
@@ -37,12 +48,26 @@ class DataEndpoint(Protocol):
         """Store ``instance`` (Write, Def. 3.9)."""
         ...
 
+    def scan_stream(self, fragment: Fragment,
+                    batch_rows: int) -> FragmentStream:
+        """Produce the feed of ``fragment`` as a batch stream."""
+        ...
+
+    def write_stream(self, fragment: Fragment,
+                     stream: FragmentStream) -> None:
+        """Store a batch stream incrementally."""
+        ...
+
 
 class ShippingChannel(Protocol):
     """What the executor needs from the network between the systems."""
 
     def ship_fragment(self, instance: FragmentInstance) -> "Shipment":
         """Transfer an instance source → target; return the receipt."""
+        ...
+
+    def ship_batch(self, batch: RowBatch) -> "Shipment":
+        """Transfer one batch (chunked streaming); return the receipt."""
         ...
 
 
@@ -70,14 +95,32 @@ class OperationTiming:
 class ExecutionReport:
     """Aggregate metrics of one program execution.
 
-    ``wall_seconds`` is the end-to-end wall-clock time of the run;
-    sequentially it equals ``total_seconds`` up to bookkeeping overhead,
-    in parallel it is the measured makespan.  ``critical_path_seconds``
-    is the longest compute+ship chain through the DAG — the floor no
-    amount of parallelism can beat.  Per-cross-edge shipment bytes and
-    seconds are kept in ``shipment_bytes``/``shipment_seconds`` (keyed
-    by producer port) so makespan estimators can attribute
-    communication by actual volume.
+    Produced identically by the sequential and the parallel executor,
+    for both dataplanes; consumers should not need to know which ran.
+
+    **Time.** ``wall_seconds`` is the end-to-end wall-clock time of the
+    run; sequentially it equals ``total_seconds`` up to bookkeeping
+    overhead, in parallel it is the measured makespan.
+    ``critical_path_seconds`` is the longest compute+ship chain through
+    the DAG — the floor no amount of parallelism can beat.
+
+    **Shipment accounting** (the single definition — executors link
+    here rather than restating it): every cross-edge counts once in
+    ``shipments``; its transferred volume and simulated transfer time
+    accumulate in ``comm_bytes``/``comm_seconds`` and, keyed by
+    producer port ``(op_id, output_index)``, in ``shipment_bytes``/
+    ``shipment_seconds`` so makespan estimators can attribute
+    communication by actual volume.  Under the streaming dataplane an
+    edge ships many chunks; ``shipment_batches`` records how many per
+    edge (empty for materialized runs, where each edge is one
+    monolithic message).
+
+    **Peak memory.** ``peak_resident_rows``/``peak_resident_bytes``
+    are the high-water marks of fragment rows resident in the
+    dataplane (instances in flight, batch frontiers, combine/split
+    buffers) as measured by :class:`~repro.core.stream.ResidencyMeter`
+    — the quantity the streaming dataplane bounds.  ``batch_rows``
+    records the knob the run used (``None`` = materialized).
     """
 
     op_timings: list[OperationTiming] = field(default_factory=list)
@@ -98,6 +141,12 @@ class ExecutionReport:
     shipment_seconds: dict[tuple[int, int], float] = field(
         default_factory=dict
     )
+    shipment_batches: dict[tuple[int, int], int] = field(
+        default_factory=dict
+    )
+    peak_resident_rows: int = 0
+    peak_resident_bytes: int = 0
+    batch_rows: int | None = None
 
     @property
     def source_seconds(self) -> float:
@@ -131,15 +180,28 @@ class _ZeroCostChannel:
     def ship_fragment(self, instance: FragmentInstance) -> Shipment:
         return Shipment(instance.estimated_size(), 0.0)
 
+    def ship_batch(self, batch: RowBatch) -> Shipment:
+        return Shipment(batch.estimated_size(), 0.0)
+
 
 class ProgramExecutor:
-    """Runs a placed program against a source and a target endpoint."""
+    """Runs a placed program against a source and a target endpoint.
+
+    ``batch_rows`` selects the dataplane: ``None`` (default) moves
+    whole materialized instances, an integer moves row batches of that
+    size through the streaming pipeline instead — same written output,
+    bounded resident rows.
+    """
 
     def __init__(self, source: DataEndpoint, target: DataEndpoint,
-                 channel: ShippingChannel | None = None) -> None:
+                 channel: ShippingChannel | None = None,
+                 batch_rows: int | None = None) -> None:
+        if batch_rows is not None and batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1 or None")
         self.source = source
         self.target = target
         self.channel: ShippingChannel = channel or _ZeroCostChannel()
+        self.batch_rows = batch_rows
 
     def _endpoint(self, location: Location) -> DataEndpoint:
         return self.source if location is Location.SOURCE else self.target
@@ -157,8 +219,17 @@ class ProgramExecutor:
             placement = program.placement_from_nodes()
         program.validate_placement(placement)
 
+        if self.batch_rows is not None:
+            from repro.core.program.streaming import StreamingRun
+
+            return StreamingRun(
+                program, placement, self.source, self.target,
+                self.channel, self.batch_rows,
+            ).execute_sequential()
+
         started = time.perf_counter()
         report = ExecutionReport()
+        meter = ResidencyMeter()
         # In-flight values keyed by producer port, tagged with the
         # system currently holding them.
         values: dict[tuple[int, int], tuple[FragmentInstance, Location]]
@@ -193,7 +264,15 @@ class ProgramExecutor:
                     report.shipment_bytes[key] = shipment.bytes_sent
                     report.shipment_seconds[key] = shipment.seconds
                 inputs.append(instance)
+            input_sizes = [
+                (instance.row_count(), instance.estimated_size())
+                for instance in inputs
+            ]
             outputs, elapsed, rows = self._execute(node, location, inputs)
+            for in_rows, in_bytes in input_sizes:
+                meter.release(in_rows, in_bytes)
+            for output in outputs:
+                meter.acquire(output.row_count(), output.estimated_size())
             report.op_timings.append(
                 OperationTiming(node.label(), node.kind, location,
                                 elapsed, rows, node.op_id)
@@ -208,6 +287,8 @@ class ProgramExecutor:
                 f"op {op_id} port {port}" for op_id, port in values
             )
             raise ProgramError(f"unconsumed program outputs: {leftovers}")
+        report.peak_resident_rows = meter.peak_rows
+        report.peak_resident_bytes = meter.peak_bytes
         report.wall_seconds = time.perf_counter() - started
         report.critical_path_seconds = critical_path_seconds(
             program, report

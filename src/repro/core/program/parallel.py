@@ -78,7 +78,9 @@ class ParallelEstimate:
 def simulate_parallel_makespan(program: TransferProgram,
                                placement: Placement,
                                report: ExecutionReport,
-                               workers: int = 4) -> ParallelEstimate:
+                               workers: int = 4,
+                               comm_overlap: float = 0.0
+                               ) -> ParallelEstimate:
     """Estimate the makespan of running ``program`` with ``workers``
     concurrent streams, from a sequential run's measurements.
 
@@ -88,9 +90,20 @@ def simulate_parallel_makespan(program: TransferProgram,
     shipment_bytes``); when the report carries no per-edge byte
     accounting every cross-edge weighs the same.  Groups are then
     list-scheduled longest-first onto the workers.
+
+    ``comm_overlap`` (0..1) credits *intra-edge* pipelining: under the
+    streaming dataplane a cross-edge ships chunk *i* while chunk *i+1*
+    is still being produced, so up to ``min(compute, comm)`` of a
+    group's communication hides behind its computation.  ``0`` models
+    the materialized dataplane (each edge is one monolithic transfer
+    that cannot start until its producer finishes); ``1`` models
+    perfect chunk-level overlap — a fully streamed run with many small
+    batches approaches it.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if not 0.0 <= comm_overlap <= 1.0:
+        raise ValueError("comm_overlap must be within [0, 1]")
     groups = partition_expressions(program)
     # Per-op measured seconds.  Timings carry the op id; fall back to
     # positional matching (topological order = sequential execution
@@ -123,7 +136,8 @@ def simulate_parallel_makespan(program: TransferProgram,
             seconds_by_op.get(node.op_id, 0.0) for node in group
         )
         comm = report.comm_seconds * cross_weight[index] / total_weight
-        durations.append(compute + comm)
+        hidden = comm_overlap * min(compute, comm)
+        durations.append(compute + comm - hidden)
 
     sequential = sum(durations)
     # LPT list scheduling.

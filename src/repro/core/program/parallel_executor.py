@@ -18,12 +18,19 @@ module pursues it for real:
 
 The executor produces an :class:`~repro.core.program.executor.
 ExecutionReport` compatible with the sequential
-:class:`~repro.core.program.executor.ProgramExecutor` — same per-op
-timings and comp/comm attribution — plus the measured ``wall_seconds``
-makespan and the ``critical_path_seconds`` floor.  Written output is
-byte-identical to the sequential path: every Write receives exactly the
-instance the sequential executor would hand it, and each target
-fragment is written by exactly one operation.
+:class:`~repro.core.program.executor.ProgramExecutor` — field semantics
+(including shipment accounting) are defined once on
+``ExecutionReport`` and hold here unchanged — plus the measured
+``wall_seconds`` makespan and the ``critical_path_seconds`` floor.
+Written output is byte-identical to the sequential path: every Write
+receives exactly the instance the sequential executor would hand it,
+and each target fragment is written by exactly one operation.
+
+With ``batch_rows=N`` the run switches to the streaming dataplane
+(:mod:`~repro.core.program.streaming`): every Write drives its whole
+producer chain as one task, and cross-edges additionally pipeline
+*within* themselves — batch *i+1* is produced while batch *i* is on
+the wire — which the materialized scheduler cannot do.
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ from repro.core.program.executor import (
     critical_path_seconds,
     execute_operation,
 )
+from repro.core.stream import ResidencyMeter
 
 
 class ParallelProgramExecutor:
@@ -59,13 +67,17 @@ class ParallelProgramExecutor:
 
     def __init__(self, source: DataEndpoint, target: DataEndpoint,
                  channel: ShippingChannel | None = None,
-                 workers: int = 4) -> None:
+                 workers: int = 4,
+                 batch_rows: int | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if batch_rows is not None and batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1 or None")
         self.source = source
         self.target = target
         self.channel: ShippingChannel = channel or _ZeroCostChannel()
         self.workers = workers
+        self.batch_rows = batch_rows
 
     def run(self, program: TransferProgram,
             placement: Placement | None = None) -> ExecutionReport:
@@ -81,7 +93,14 @@ class ParallelProgramExecutor:
             placement = program.placement_from_nodes()
         program.validate_placement(placement)
         if not program.nodes:
-            return ExecutionReport()
+            return ExecutionReport(batch_rows=self.batch_rows)
+        if self.batch_rows is not None:
+            from repro.core.program.streaming import StreamingRun
+
+            return StreamingRun(
+                program, placement, self.source, self.target,
+                self.channel, self.batch_rows,
+            ).execute_parallel(self.workers)
         run = _ScheduledRun(
             program, placement, self.source, self.target,
             self.channel, self.workers,
@@ -102,6 +121,7 @@ class _ScheduledRun:
         self.channel = channel
         self.workers = workers
         self.report = ExecutionReport()
+        self.meter = ResidencyMeter()
         # Scheduling state, guarded by _lock.
         self._lock = threading.Lock()
         self._inputs: dict[int, dict[int, FragmentInstance]] = {}
@@ -111,10 +131,8 @@ class _ScheduledRun:
         self._failure: BaseException | None = None
         self._done = threading.Event()
         # Each output port feeds at most one consumer (validated).
-        self._consumer_of: dict[tuple[int, int], Edge] = {
-            (edge.producer.op_id, edge.output_index): edge
-            for edge in program.edges
-        }
+        self._consumer_of: dict[tuple[int, int], Edge] = \
+            program.consumers_by_port()
         for node in program.nodes:
             self._inputs[node.op_id] = {}
             self._missing[node.op_id] = len(program.in_edges(node))
@@ -145,6 +163,8 @@ class _ScheduledRun:
                 for op_id, port in sorted(self._leftovers)
             )
             raise ProgramError(f"unconsumed program outputs: {leftovers}")
+        self.report.peak_resident_rows = self.meter.peak_rows
+        self.report.peak_resident_bytes = self.meter.peak_bytes
         self.report.wall_seconds = time.perf_counter() - started
         self.report.critical_path_seconds = critical_path_seconds(
             self.program, self.report
@@ -172,9 +192,21 @@ class _ScheduledRun:
             with self._lock:
                 slots = self._inputs.pop(node.op_id)
             inputs = [slots[index] for index in sorted(slots)]
+            # Sizes must be taken before execution: Combine mutates its
+            # parent input and Split consumes its input in place.
+            input_sizes = [
+                (instance.row_count(), instance.estimated_size())
+                for instance in inputs
+            ]
             outputs, elapsed, rows = execute_operation(
                 node, endpoint, inputs
             )
+            for in_rows, in_bytes in input_sizes:
+                self.meter.release(in_rows, in_bytes)
+            for output in outputs:
+                self.meter.acquire(
+                    output.row_count(), output.estimated_size()
+                )
             with self._lock:
                 self.report.op_timings.append(
                     OperationTiming(node.label(), node.kind, location,

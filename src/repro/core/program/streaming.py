@@ -1,0 +1,351 @@
+"""Streaming execution of placed programs over RowBatch pipelines.
+
+This is the bounded-memory dataplane behind the executors'
+``batch_rows`` knob.  The placed DAG is compiled into a network of lazy
+batch iterators — Scan streams off the endpoint, Combine/Split
+transform per batch (:meth:`~repro.core.ops.combine.Combine.
+apply_batches` / :meth:`~repro.core.ops.split.Split.apply_batches`),
+cross-edges ship each batch through the channel as its own message —
+and the Write nodes *drive* the network by pulling: a batch travels the
+whole chain scan → transform → ship → load before the next one is
+produced, so resident rows stay bounded by the batch size times the
+pipeline depth (plus Combine's child frontier) instead of the document
+size.
+
+Sequentially the Writes drive one after another in topological order.
+In parallel mode every Write's chain is one task on the compute pool —
+independent expressions stream concurrently — and each cross-edge gets
+a prefetch stage on a second pool so producing batch *i+1* overlaps
+shipping batch *i* within a single edge (the intra-edge pipelining the
+materialized dataplane cannot do).
+
+Accounting matches the materialized executors': per-operation seconds
+measure each node's own work (upstream production pulled from inside a
+consumer is charged to the producer, not the consumer), and shipment /
+peak-memory fields follow the single definition on
+:class:`~repro.core.program.executor.ExecutionReport`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Iterator
+
+from repro.errors import ProgramError
+from repro.core.ops.base import Location, Operation
+from repro.core.ops.combine import Combine
+from repro.core.ops.scan import Scan
+from repro.core.ops.split import Split
+from repro.core.ops.write import Write
+from repro.core.program.dag import Placement, TransferProgram
+from repro.core.program.executor import (
+    DataEndpoint,
+    ExecutionReport,
+    OperationTiming,
+    ShippingChannel,
+    critical_path_seconds,
+)
+from repro.core.stream import FragmentStream, ResidencyMeter, RowBatch
+
+
+class _AbortedRun(RuntimeError):
+    """Internal: a task bailed because another task already failed."""
+
+
+class _NodeStats:
+    """Per-node accumulators filled while batches flow."""
+
+    __slots__ = ("seconds", "rows")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.rows = 0
+
+
+class _Prefetch:
+    """Pulls an upstream iterator on a pool into a bounded queue.
+
+    The consumer's pulls then overlap the producer's work — on a
+    cross-edge this is what lets shipping batch *i* (in the consumer)
+    overlap producing batch *i+1* (here).  ``abort`` unblocks both
+    sides when the run fails elsewhere.
+    """
+
+    _DONE = object()
+    _POLL_SECONDS = 0.05
+
+    def __init__(self, source: Iterator[RowBatch],
+                 pool: ThreadPoolExecutor, abort: threading.Event,
+                 depth: int = 2) -> None:
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._abort = abort
+        pool.submit(self._produce, source)
+
+    def _produce(self, source: Iterator[RowBatch]) -> None:
+        try:
+            for batch in source:
+                if not self._put(batch):
+                    return
+            self._put(self._DONE)
+        except BaseException as exc:  # noqa: BLE001 - forwarded below
+            self._put(exc)
+
+    def _put(self, item: object) -> bool:
+        while not self._abort.is_set():
+            try:
+                self._queue.put(item, timeout=self._POLL_SECONDS)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def __iter__(self) -> "_Prefetch":
+        return self
+
+    def __next__(self) -> RowBatch:
+        while True:
+            try:
+                item = self._queue.get(timeout=self._POLL_SECONDS)
+            except queue.Empty:
+                if self._abort.is_set():
+                    raise _AbortedRun("streaming run aborted") from None
+                continue
+            if item is self._DONE:
+                raise StopIteration
+            if isinstance(item, BaseException):
+                raise item
+            return item
+
+
+class StreamingRun:
+    """One streaming execution of a placed program."""
+
+    def __init__(self, program: TransferProgram, placement: Placement,
+                 source: DataEndpoint, target: DataEndpoint,
+                 channel: ShippingChannel, batch_rows: int) -> None:
+        self.program = program
+        self.placement = placement
+        self.source = source
+        self.target = target
+        self.channel = channel
+        self.batch_rows = batch_rows
+        self.report = ExecutionReport(batch_rows=batch_rows)
+        self.meter = ResidencyMeter()
+        self._lock = threading.Lock()
+        self._stats = {
+            node.op_id: _NodeStats() for node in program.nodes
+        }
+        self._abort = threading.Event()
+        self._prefetch_pool: ThreadPoolExecutor | None = None
+        self._leftovers: list[tuple[int, int]] = []
+
+    # -- driving ----------------------------------------------------------------
+
+    def execute_sequential(self) -> ExecutionReport:
+        """Drive every Write in topological order, single-threaded."""
+        started = time.perf_counter()
+        drives = self._build()
+        for node, endpoint, batches in drives:
+            self._drive_write(node, endpoint, batches)
+        return self._finish(started)
+
+    def execute_parallel(self, workers: int) -> ExecutionReport:
+        """Drive every Write as its own task on a ``workers``-wide
+        pool, with cross-edge prefetch on a second pool."""
+        started = time.perf_counter()
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-stream",
+        ) as compute, ThreadPoolExecutor(
+            max_workers=max(workers, 1),
+            thread_name_prefix="repro-prefetch",
+        ) as prefetch:
+            self._prefetch_pool = prefetch
+            drives = self._build()
+            futures = [
+                compute.submit(self._drive_write, *drive)
+                for drive in drives
+            ]
+            failure: BaseException | None = None
+            for future in as_completed(futures):
+                exc = future.exception()
+                if exc is None:
+                    continue
+                self._abort.set()
+                if failure is None or isinstance(failure, _AbortedRun):
+                    failure = exc
+        if failure is not None:
+            raise failure
+        return self._finish(started)
+
+    def _finish(self, started: float) -> ExecutionReport:
+        if self._leftovers:
+            leftovers = ", ".join(
+                f"op {op_id} port {port}"
+                for op_id, port in self._leftovers
+            )
+            raise ProgramError(f"unconsumed program outputs: {leftovers}")
+        report = self.report
+        for node in self.program.topological_order():
+            stats = self._stats[node.op_id]
+            location = self.placement[node.op_id]
+            report.op_timings.append(
+                OperationTiming(node.label(), node.kind, location,
+                                stats.seconds, stats.rows, node.op_id)
+            )
+            report.comp_seconds[location] += stats.seconds
+            if node.kind == "write":
+                report.rows_written += stats.rows
+        report.peak_resident_rows = self.meter.peak_rows
+        report.peak_resident_bytes = self.meter.peak_bytes
+        report.wall_seconds = time.perf_counter() - started
+        report.critical_path_seconds = critical_path_seconds(
+            self.program, report
+        )
+        return report
+
+    # -- compiling the DAG into a batch network ---------------------------------
+
+    def _build(self) -> list[tuple[Write, DataEndpoint,
+                                   Iterator[RowBatch]]]:
+        """Wire every node's output iterators; return the Write drives."""
+        streams: dict[tuple[int, int],
+                      tuple[Iterator[RowBatch], Location]] = {}
+        drives: list[tuple[Write, DataEndpoint, Iterator[RowBatch]]] = []
+        for node in self.program.topological_order():
+            location = self.placement[node.op_id]
+            endpoint = (
+                self.source if location is Location.SOURCE
+                else self.target
+            )
+            inputs: list[Iterator[RowBatch]] = []
+            for edge in self.program.in_edges(node):
+                key = (edge.producer.op_id, edge.output_index)
+                iterator, holder = streams.pop(key)
+                if holder is not location:
+                    if self._prefetch_pool is not None:
+                        iterator = _Prefetch(
+                            iterator, self._prefetch_pool, self._abort
+                        )
+                    iterator = self._shipped(key, iterator)
+                inputs.append(iterator)
+            outputs: list[Iterator[RowBatch]]
+            if isinstance(node, Scan):
+                outputs = [self._scan_batches(node, endpoint)]
+            elif isinstance(node, Combine):
+                outputs = [node.apply_batches(
+                    inputs[0], inputs[1],
+                    tick=self._ticker(node), meter=self.meter,
+                )]
+            elif isinstance(node, Split):
+                outputs = node.apply_batches(
+                    inputs[0], tick=self._ticker(node), meter=self.meter
+                )
+            elif isinstance(node, Write):
+                drives.append((node, endpoint, inputs[0]))
+                outputs = []
+            else:
+                raise ProgramError(
+                    f"unknown operation kind {node.kind!r}"
+                )
+            for index, output in enumerate(outputs):
+                streams[(node.op_id, index)] = (output, location)
+        # Whatever was wired but never popped is exactly the program's
+        # statically dangling ports.
+        self._leftovers = self.program.dangling_ports()
+        assert sorted(streams) == self._leftovers
+        return drives
+
+    def _ticker(self, node: Operation):
+        def tick(seconds: float, rows: int) -> None:
+            with self._lock:
+                stats = self._stats[node.op_id]
+                stats.seconds += seconds
+                stats.rows += rows
+
+        return tick
+
+    # -- per-kind batch stages -----------------------------------------------------
+
+    def _scan_batches(self, node: Scan,
+                      endpoint: DataEndpoint) -> Iterator[RowBatch]:
+        tick = self._ticker(node)
+
+        def generate() -> Iterator[RowBatch]:
+            iterator = iter(
+                endpoint.scan_stream(node.fragment, self.batch_rows)
+            )
+            while True:
+                started = time.perf_counter()
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    tick(time.perf_counter() - started, 0)
+                    return
+                tick(time.perf_counter() - started, len(batch.rows))
+                self.meter.acquire(
+                    len(batch.rows), batch.estimated_size()
+                )
+                yield batch
+
+        return generate()
+
+    def _shipped(self, key: tuple[int, int],
+                 iterator: Iterator[RowBatch]) -> Iterator[RowBatch]:
+        report = self.report
+        with self._lock:
+            report.shipments += 1
+            report.shipment_bytes.setdefault(key, 0)
+            report.shipment_seconds.setdefault(key, 0.0)
+            report.shipment_batches.setdefault(key, 0)
+
+        def generate() -> Iterator[RowBatch]:
+            for batch in iterator:
+                shipment = self.channel.ship_batch(batch)
+                with self._lock:
+                    report.comm_bytes += shipment.bytes_sent
+                    report.comm_seconds += shipment.seconds
+                    report.shipment_bytes[key] += shipment.bytes_sent
+                    report.shipment_seconds[key] += shipment.seconds
+                    report.shipment_batches[key] += 1
+                yield batch
+
+        return generate()
+
+    def _drive_write(self, node: Write, endpoint: DataEndpoint,
+                     batches: Iterator[RowBatch]) -> None:
+        if self._abort.is_set():
+            raise _AbortedRun("streaming run aborted")
+        pull_seconds = 0.0
+        rows_total = 0
+        pending_release: tuple[int, int] | None = None
+
+        def instrumented() -> Iterator[RowBatch]:
+            nonlocal pull_seconds, rows_total, pending_release
+            iterator = iter(batches)
+            while True:
+                started = time.perf_counter()
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    pull_seconds += time.perf_counter() - started
+                    return
+                pull_seconds += time.perf_counter() - started
+                if pending_release is not None:
+                    self.meter.release(*pending_release)
+                pending_release = (
+                    len(batch.rows), batch.estimated_size()
+                )
+                rows_total += len(batch.rows)
+                yield batch
+
+        started = time.perf_counter()
+        endpoint.write_stream(
+            node.fragment, FragmentStream(node.fragment, instrumented())
+        )
+        elapsed = (time.perf_counter() - started) - pull_seconds
+        if pending_release is not None:
+            self.meter.release(*pending_release)
+        self._ticker(node)(max(elapsed, 0.0), rows_total)

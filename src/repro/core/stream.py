@@ -1,0 +1,199 @@
+"""Bounded-memory fragment streams: the batch dataplane.
+
+The materialized dataplane moves whole :class:`~repro.core.instance.
+FragmentInstance` values between operations, so peak memory and
+per-edge latency scale with document size.  This module provides the
+streamed alternative: a :class:`RowBatch` is an ordered slice of a
+fragment's feed (rows ``seq * batch_rows .. len(rows)``), and a
+:class:`FragmentStream` is a single-use iterator of batches with
+bridges to and from the materialized representation.  Operations that
+move batches instead of instances hold only a bounded frontier of rows
+resident at any time; :class:`ResidencyMeter` measures that frontier
+(``peak_resident_rows`` / ``peak_resident_bytes`` in the execution
+report) for both dataplanes so the bound is checkable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import OperationError
+from repro.core.fragment import Fragment
+from repro.core.instance import (
+    FragmentInstance,
+    FragmentRow,
+    row_estimated_size,
+    row_feed_size,
+)
+
+#: Batch size used when a stream is requested without an explicit one.
+DEFAULT_BATCH_ROWS = 256
+
+
+@dataclass(slots=True)
+class RowBatch:
+    """An ordered slice of a fragment's feed.
+
+    Attributes:
+        fragment: the fragment every row conforms to.
+        rows: the slice, in feed order.
+        seq: 0-based position of this batch within its stream.
+    """
+
+    fragment: Fragment
+    rows: list[FragmentRow]
+    seq: int
+
+    def row_count(self) -> int:
+        """Number of fragment-root occurrences in the slice."""
+        return len(self.rows)
+
+    def estimated_size(self) -> int:
+        """Approximate serialized (tagged XML) size in bytes."""
+        return sum(row_estimated_size(row) for row in self.rows)
+
+    def feed_size(self) -> int:
+        """Approximate tabular sorted-feed (wire) size in bytes."""
+        return sum(row_feed_size(row) for row in self.rows)
+
+    def to_instance(self) -> FragmentInstance:
+        """A :class:`FragmentInstance` sharing this batch's rows."""
+        return FragmentInstance(self.fragment, self.rows)
+
+
+class FragmentStream:
+    """A single-use, ordered stream of :class:`RowBatch` for one
+    fragment.
+
+    Concatenating the batches of a stream in ``seq`` order yields
+    exactly the rows of the materialized instance — that equivalence
+    (checked by the determinism tests for every batch size) is what
+    lets the streaming dataplane stay byte-identical to the
+    materialized one.
+    """
+
+    __slots__ = ("fragment", "_batches", "_consumed")
+
+    def __init__(self, fragment: Fragment,
+                 batches: Iterable[RowBatch]) -> None:
+        self.fragment = fragment
+        self._batches = iter(batches)
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[RowBatch]:
+        """Iterate the batches (once).
+
+        Raises:
+            OperationError: if the stream was already consumed.
+        """
+        if self._consumed:
+            raise OperationError(
+                f"stream of fragment {self.fragment.name!r} was "
+                "already consumed"
+            )
+        self._consumed = True
+        return self._batches
+
+    # -- bridges ---------------------------------------------------------------
+
+    @classmethod
+    def from_instance(cls, instance: FragmentInstance,
+                      batch_rows: int = DEFAULT_BATCH_ROWS,
+                      copy_rows: bool = False) -> "FragmentStream":
+        """Re-batch a materialized instance.
+
+        With ``copy_rows`` each row is deep-copied lazily as its batch
+        is produced, so consumers that mutate rows (Combine does) never
+        touch the stored original — and only one batch of copies is
+        resident at a time.
+        """
+        if copy_rows:
+            rows: Iterable[FragmentRow] = (
+                FragmentRow(row.data.copy(), row.parent)
+                for row in instance.rows
+            )
+        else:
+            rows = instance.rows
+        return cls.from_rows(instance.fragment, rows, batch_rows)
+
+    @classmethod
+    def from_rows(cls, fragment: Fragment,
+                  rows: Iterable[FragmentRow],
+                  batch_rows: int = DEFAULT_BATCH_ROWS
+                  ) -> "FragmentStream":
+        """Slice an iterable of rows into batches of ``batch_rows``."""
+        if batch_rows < 1:
+            raise OperationError(
+                f"batch_rows must be >= 1, got {batch_rows}"
+            )
+
+        def generate() -> Iterator[RowBatch]:
+            buffer: list[FragmentRow] = []
+            seq = 0
+            for row in rows:
+                buffer.append(row)
+                if len(buffer) >= batch_rows:
+                    yield RowBatch(fragment, buffer, seq)
+                    seq += 1
+                    buffer = []
+            if buffer:
+                yield RowBatch(fragment, buffer, seq)
+
+        return cls(fragment, generate())
+
+    def materialize(self) -> FragmentInstance:
+        """Drain the stream into a materialized instance."""
+        instance = FragmentInstance(self.fragment)
+        for batch in self:
+            instance.rows.extend(batch.rows)
+        return instance
+
+    def map_batches(self, function: Callable[[RowBatch], RowBatch]
+                    ) -> "FragmentStream":
+        """A stream applying ``function`` to each batch (lazily)."""
+        return FragmentStream(
+            self.fragment, (function(batch) for batch in self)
+        )
+
+
+class ResidencyMeter:
+    """Tracks rows/bytes resident in the dataplane and their peaks.
+
+    Producers :meth:`acquire` rows when they enter the dataplane (a
+    Scan yields a batch, a Split queues a piece) and consumers
+    :meth:`release` them when absorbed (a Write loaded the batch, a
+    Combine inlined a buffered child row).  Thread-safe, since the
+    parallel executor produces and consumes from many threads.
+    """
+
+    __slots__ = ("_lock", "_rows", "_bytes", "peak_rows", "peak_bytes")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rows = 0
+        self._bytes = 0
+        self.peak_rows = 0
+        self.peak_bytes = 0
+
+    def acquire(self, rows: int, size_bytes: int) -> None:
+        """Mark ``rows`` totalling ``size_bytes`` as resident."""
+        with self._lock:
+            self._rows += rows
+            self._bytes += size_bytes
+            if self._rows > self.peak_rows:
+                self.peak_rows = self._rows
+            if self._bytes > self.peak_bytes:
+                self.peak_bytes = self._bytes
+
+    def release(self, rows: int, size_bytes: int) -> None:
+        """Mark ``rows`` totalling ``size_bytes`` as absorbed."""
+        with self._lock:
+            self._rows -= rows
+            self._bytes -= size_bytes
+
+    @property
+    def resident_rows(self) -> int:
+        """Rows currently resident."""
+        return self._rows

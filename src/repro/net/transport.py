@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.errors import TransportError
 from repro.core.instance import FragmentInstance
 from repro.core.program.executor import Shipment
+from repro.core.stream import RowBatch
 from repro.net.soap import unwrap_fragment_feed, wrap_fragment_feed
 
 
@@ -121,6 +122,26 @@ class SimulatedChannel:
         shipment = self._charge(len(message))
         received = unwrap_fragment_feed(message, instance.fragment)
         instance.rows[:] = received.rows
+        return shipment
+
+    def ship_batch(self, batch: RowBatch) -> Shipment:
+        """Ship one batch of a fragment feed (chunked cross-edge
+        traffic of the streaming dataplane).
+
+        Each batch is one message: it pays the per-message latency —
+        finer batching buys pipelining at the price of more handshakes,
+        exactly the chunk-size trade-off of a streamed transfer.  Wire
+        format encodes/decodes the batch like :meth:`ship_fragment`
+        does the whole feed, replacing the batch's rows with what
+        crossed the network.
+        """
+        if not self.wire_format:
+            return self._charge(batch.feed_size())
+        instance = FragmentInstance(batch.fragment, batch.rows)
+        message = wrap_fragment_feed(instance)
+        shipment = self._charge(len(message))
+        received = unwrap_fragment_feed(message, batch.fragment)
+        batch.rows[:] = received.rows
         return shipment
 
     def ship_document(self, text: str) -> Shipment:

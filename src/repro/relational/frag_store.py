@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.errors import RelationalError, TableError
 from repro.core.fragment import Fragment
 from repro.core.fragmentation import Fragmentation
 from repro.core.instance import ElementData, FragmentInstance, FragmentRow
+from repro.core.stream import RowBatch
 from repro.relational.engine import Database
 from repro.relational.schema import Column, TableSchema
 from repro.relational.types import ColumnType
@@ -259,19 +261,26 @@ class FragmentRelationMapper:
     def load_instance(self, db: Database, fragment: Fragment,
                       instance: FragmentInstance) -> int:
         """Bulk-load one fragment instance into its table (Write)."""
+        return self.load_rows(db, fragment, instance.rows)
+
+    def load_rows(self, db: Database, fragment: Fragment,
+                  rows: Iterable[FragmentRow]) -> int:
+        """Bulk-load a slice of a fragment's feed into its table — the
+        per-batch unit of a streaming Write."""
         layout = self.layout_for(fragment)
-        rows = [
+        flat = [
             layout.row_from_occurrence(row.data, row.parent)
-            for row in instance.rows
+            for row in rows
         ]
         with self._table_locks[fragment.name]:
-            return db.load(layout.table_name, rows)
+            return db.load(layout.table_name, flat)
 
     # -- scanning ----------------------------------------------------------------------
 
-    def scan_fragment(self, db: Database,
-                      fragment: Fragment) -> FragmentInstance:
-        """Read a fragment back as a sorted feed (Scan, Def. 3.6)."""
+    def _sorted_feed(self, db: Database, fragment: Fragment
+                     ) -> tuple["_FragmentLayout", dict[str, int],
+                                list[tuple]]:
+        """The raw sorted feed of a fragment's table plus its layout."""
         layout = self.layout_for(fragment)
         with self._table_locks[fragment.name]:
             result = db.execute(
@@ -281,11 +290,46 @@ class FragmentRelationMapper:
             name.lower(): index
             for index, name in enumerate(result.columns)
         }
+        return layout, positions, result.rows
+
+    def scan_fragment(self, db: Database,
+                      fragment: Fragment) -> FragmentInstance:
+        """Read a fragment back as a sorted feed (Scan, Def. 3.6)."""
+        layout, positions, raw_rows = self._sorted_feed(db, fragment)
         rows = []
-        for raw in result.rows:
+        for raw in raw_rows:
             data, parent_eid = layout.occurrence_from_row(raw, positions)
             rows.append(FragmentRow(data, parent_eid))
         return FragmentInstance(fragment, rows)
+
+    def scan_fragment_batches(self, db: Database, fragment: Fragment,
+                              batch_rows: int) -> Iterator[RowBatch]:
+        """Read a fragment as a stream of batches (streaming Scan).
+
+        The raw tuples come from the same sorted ``SELECT`` as
+        :meth:`scan_fragment`, but the nested :class:`ElementData`
+        occurrences — the expensive, memory-heavy representation — are
+        built lazily one batch at a time, so only ``batch_rows`` worth
+        of trees exist per pulled batch.
+        """
+        layout, positions, raw_rows = self._sorted_feed(db, fragment)
+
+        def generate() -> Iterator[RowBatch]:
+            buffer: list[FragmentRow] = []
+            seq = 0
+            for raw in raw_rows:
+                data, parent_eid = layout.occurrence_from_row(
+                    raw, positions
+                )
+                buffer.append(FragmentRow(data, parent_eid))
+                if len(buffer) >= batch_rows:
+                    yield RowBatch(fragment, buffer, seq)
+                    seq += 1
+                    buffer = []
+            if buffer:
+                yield RowBatch(fragment, buffer, seq)
+
+        return generate()
 
     def truncate_all(self, db: Database) -> None:
         """Empty every fragment table (fresh target before a run)."""

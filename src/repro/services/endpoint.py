@@ -22,8 +22,9 @@ from repro.core.cost.model import (
 )
 from repro.core.fragment import Fragment
 from repro.core.fragmentation import Fragmentation
-from repro.core.instance import ElementData, FragmentInstance
+from repro.core.instance import ElementData, FragmentInstance, FragmentRow
 from repro.core.ops.base import Operation
+from repro.core.stream import DEFAULT_BATCH_ROWS, FragmentStream
 from repro.core.ops.combine import Combine
 from repro.core.ops.split import Split
 from repro.core.ops.write import Write
@@ -54,6 +55,33 @@ class SystemEndpoint(abc.ABC):
     def write(self, fragment: Fragment,
               instance: FragmentInstance) -> None:
         """Store ``instance``."""
+
+    # -- streaming data interface (the batch dataplane) --------------------
+
+    def scan_stream(self, fragment: Fragment,
+                    batch_rows: int = DEFAULT_BATCH_ROWS
+                    ) -> FragmentStream:
+        """Produce the stored feed of ``fragment`` as a batch stream.
+
+        The default re-batches the materialized :meth:`scan` result;
+        endpoints that can produce incrementally (the relational one
+        streams straight off its table scan) override this to bound
+        memory for real.
+        """
+        return FragmentStream.from_instance(
+            self.scan(fragment), batch_rows
+        )
+
+    def write_stream(self, fragment: Fragment,
+                     stream: FragmentStream) -> None:
+        """Store a batch stream.
+
+        The default materializes and delegates to :meth:`write`;
+        endpoints with incremental stores (the relational one
+        bulk-loads each batch) override this so the full instance is
+        never resident.
+        """
+        self.write(fragment, stream.materialize())
 
     # -- statistics ----------------------------------------------------------
 
@@ -124,6 +152,24 @@ class RelationalEndpoint(SystemEndpoint):
               instance: FragmentInstance) -> None:
         self.mapper.load_instance(self.db, fragment, instance)
 
+    def scan_stream(self, fragment: Fragment,
+                    batch_rows: int = DEFAULT_BATCH_ROWS
+                    ) -> FragmentStream:
+        """Stream the fragment straight off the table scan: occurrence
+        trees are built lazily, one batch at a time."""
+        return FragmentStream(
+            fragment,
+            self.mapper.scan_fragment_batches(
+                self.db, fragment, batch_rows
+            ),
+        )
+
+    def write_stream(self, fragment: Fragment,
+                     stream: FragmentStream) -> None:
+        """Bulk-load each arriving batch into the fragment's table."""
+        for batch in stream:
+            self.mapper.load_rows(self.db, fragment, batch.rows)
+
     def build_indexes(self) -> int:
         """Create/refresh the standard indexes (the separately timed
         step of Table 4); returns indexes built."""
@@ -157,7 +203,8 @@ class InMemoryEndpoint(SystemEndpoint):
 
     def put(self, instance: FragmentInstance) -> None:
         """Seed the store with an instance (keyed by fragment name)."""
-        self.store[instance.fragment.name] = instance
+        with self._store_lock:
+            self.store[instance.fragment.name] = instance
 
     def scan(self, fragment: Fragment) -> FragmentInstance:
         with self._store_lock:
@@ -169,8 +216,35 @@ class InMemoryEndpoint(SystemEndpoint):
                 ) from exc
             return stored.copy()
 
+    def scan_stream(self, fragment: Fragment,
+                    batch_rows: int = DEFAULT_BATCH_ROWS
+                    ) -> FragmentStream:
+        """Re-batch the stored instance, deep-copying rows lazily so
+        only one batch of copies is resident at a time (the consumer
+        may mutate rows, as :meth:`scan` callers may)."""
+        with self._store_lock:
+            try:
+                stored = self.store[fragment.name]
+            except KeyError as exc:
+                raise EndpointError(
+                    f"{self.name!r} stores no fragment {fragment.name!r}"
+                ) from exc
+            snapshot = list(stored.rows)
+        return FragmentStream.from_rows(
+            fragment,
+            (FragmentRow(row.data.copy(), row.parent)
+             for row in snapshot),
+            batch_rows,
+        )
+
     def write(self, fragment: Fragment,
               instance: FragmentInstance) -> None:
+        with self._store_lock:
+            self.store[fragment.name] = instance
+
+    def write_stream(self, fragment: Fragment,
+                     stream: FragmentStream) -> None:
+        instance = stream.materialize()
         with self._store_lock:
             self.store[fragment.name] = instance
 
@@ -225,6 +299,16 @@ class DirectoryEndpoint(SystemEndpoint):
         fragment can land before the fragment holding its parent
         entries — the directory tree can only be built parent-first.
         """
+        with self._store_lock:
+            self._written[fragment.name] = instance
+            self._materialized = False
+
+    def write_stream(self, fragment: Fragment,
+                     stream: FragmentStream) -> None:
+        """Accept a fragment feed batch by batch (same deferred
+        materialization as :meth:`write`; the directory tree itself is
+        only built parent-first in :meth:`materialize`)."""
+        instance = stream.materialize()
         with self._store_lock:
             self._written[fragment.name] = instance
             self._materialized = False

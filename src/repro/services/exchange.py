@@ -54,6 +54,12 @@ class ExchangeOutcome:
     #: summed per-step attribution sequentially; with parallel workers
     #: it is the real makespan (smaller when overlap pays off).
     wall_seconds: float = 0.0
+    #: Dataplane the program phase used (None = materialized).
+    batch_rows: int | None = None
+    #: Peak fragment rows / bytes resident in the dataplane (see
+    #: :class:`~repro.core.program.executor.ExecutionReport`).
+    peak_resident_rows: int = 0
+    peak_resident_bytes: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -85,6 +91,7 @@ def run_optimized_exchange(
     channel: SimulatedChannel,
     scenario: str = "exchange",
     parallel_workers: int = 1,
+    batch_rows: int | None = None,
 ) -> ExchangeOutcome:
     """Run the optimized data exchange (Section 5.2 steps 1–5).
 
@@ -95,22 +102,32 @@ def run_optimized_exchange(
     fragments are identical either way; the per-step attribution keeps
     its sequential meaning while ``wall_seconds`` carries the measured
     makespan.
+
+    ``batch_rows`` selects the executor's dataplane: ``None`` moves
+    materialized instances, an integer streams row batches of that size
+    (bounded peak residency, chunked shipping, same written fragments).
     """
     if parallel_workers < 1:
         raise ValueError("parallel_workers must be >= 1")
     outcome = ExchangeOutcome(
-        scenario, "DE", parallel_workers=parallel_workers
+        scenario, "DE", parallel_workers=parallel_workers,
+        batch_rows=batch_rows,
     )
     channel.reset()
     if parallel_workers > 1:
         executor: ProgramExecutor | ParallelProgramExecutor = \
             ParallelProgramExecutor(
-                source, target, channel, workers=parallel_workers
+                source, target, channel, workers=parallel_workers,
+                batch_rows=batch_rows,
             )
     else:
-        executor = ProgramExecutor(source, target, channel)
+        executor = ProgramExecutor(
+            source, target, channel, batch_rows=batch_rows
+        )
     report = executor.run(program, placement)
     outcome.wall_seconds = report.wall_seconds
+    outcome.peak_resident_rows = report.peak_resident_rows
+    outcome.peak_resident_bytes = report.peak_resident_bytes
     load_seconds = report.seconds_for_kind("write")
     outcome.steps["source_processing"] = report.source_seconds
     outcome.steps["communication"] = channel.total_seconds

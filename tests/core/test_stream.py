@@ -1,0 +1,104 @@
+"""RowBatch / FragmentStream / ResidencyMeter: the batch dataplane units."""
+
+import pytest
+
+from repro.errors import OperationError
+from repro.core.stream import (
+    DEFAULT_BATCH_ROWS,
+    FragmentStream,
+    ResidencyMeter,
+    RowBatch,
+)
+from repro.workloads.customer import fragment_customers
+
+
+@pytest.fixture
+def order_feed(customers_s, customer_documents):
+    return fragment_customers(customer_documents, customers_s)["Order"]
+
+
+class TestRowBatch:
+    def test_sizes_partition_the_instance(self, order_feed):
+        batches = list(FragmentStream.from_instance(order_feed, 2))
+        assert sum(b.row_count() for b in batches) == \
+            order_feed.row_count()
+        assert sum(b.estimated_size() for b in batches) == \
+            order_feed.estimated_size()
+        assert sum(b.feed_size() for b in batches) == \
+            order_feed.feed_size()
+
+    def test_to_instance_shares_rows(self, order_feed):
+        batch = RowBatch(order_feed.fragment, order_feed.rows, 0)
+        instance = batch.to_instance()
+        assert instance.fragment is order_feed.fragment
+        assert instance.rows == batch.rows
+        assert all(
+            mine is theirs
+            for mine, theirs in zip(instance.rows, batch.rows)
+        )
+
+
+class TestFragmentStream:
+    def test_rebatching_preserves_row_order(self, order_feed):
+        stream = FragmentStream.from_instance(order_feed, 3)
+        batches = list(stream)
+        assert [b.seq for b in batches] == list(range(len(batches)))
+        assert all(b.row_count() <= 3 for b in batches)
+        flattened = [row for b in batches for row in b.rows]
+        assert flattened == order_feed.rows
+
+    def test_batch_rows_one(self, order_feed):
+        batches = list(FragmentStream.from_instance(order_feed, 1))
+        assert len(batches) == order_feed.row_count()
+        assert all(b.row_count() == 1 for b in batches)
+
+    def test_default_batch_size(self, order_feed):
+        stream = FragmentStream.from_instance(order_feed)
+        assert DEFAULT_BATCH_ROWS >= 1
+        assert stream.materialize().rows == order_feed.rows
+
+    def test_single_use(self, order_feed):
+        stream = FragmentStream.from_instance(order_feed, 2)
+        list(stream)
+        with pytest.raises(OperationError, match="already consumed"):
+            iter(stream)
+        with pytest.raises(OperationError, match="already consumed"):
+            stream.materialize()
+
+    def test_invalid_batch_rows(self, order_feed):
+        with pytest.raises(OperationError, match="batch_rows"):
+            FragmentStream.from_instance(order_feed, 0)
+
+    def test_copy_rows_isolates_the_original(self, order_feed):
+        stream = FragmentStream.from_instance(
+            order_feed, 2, copy_rows=True
+        )
+        for batch in stream:
+            for row in batch.rows:
+                row.data.text = "mutated"
+        assert all(row.data.text != "mutated" for row in order_feed.rows)
+
+    def test_map_batches(self, order_feed):
+        stream = FragmentStream.from_instance(order_feed, 2)
+        mapped = stream.map_batches(
+            lambda b: RowBatch(b.fragment, b.rows[:1], b.seq)
+        )
+        assert all(b.row_count() == 1 for b in mapped)
+
+
+class TestResidencyMeter:
+    def test_peaks_track_the_high_water_mark(self):
+        meter = ResidencyMeter()
+        meter.acquire(10, 100)
+        meter.acquire(5, 50)
+        meter.release(10, 100)
+        meter.acquire(2, 20)
+        assert meter.peak_rows == 15
+        assert meter.peak_bytes == 150
+        assert meter.resident_rows == 7
+
+    def test_starts_empty(self):
+        meter = ResidencyMeter()
+        assert meter.peak_rows == 0
+        assert meter.peak_bytes == 0
+        assert meter.resident_rows == 0

@@ -54,6 +54,49 @@ class TestSimulatedChannel:
         assert feed.row_count() == rows_before
         assert sorted(row.eid for row in feed.rows) == eids_before
 
+    def test_batch_shipping_charges_per_chunk(self, feed):
+        from repro.core.stream import FragmentStream
+
+        channel = SimulatedChannel()
+        batches = list(FragmentStream.from_instance(feed, 2))
+        shipped = [channel.ship_batch(batch) for batch in batches]
+        assert channel.messages == len(batches)
+        assert sum(s.bytes_sent for s in shipped) == feed.feed_size()
+        # Chunking pays the per-message latency once per batch.
+        whole = SimulatedChannel()
+        whole.ship_fragment(feed)
+        extra_latency = (
+            (len(batches) - 1) * channel.profile.latency_seconds
+        )
+        assert channel.total_seconds == pytest.approx(
+            whole.total_seconds + extra_latency
+        )
+
+    def test_batch_wire_format_round_trip(self, feed):
+        from repro.core.stream import FragmentStream
+
+        channel = SimulatedChannel(wire_format=True)
+        total_rows = 0
+        eids = []
+        for batch in FragmentStream.from_instance(
+            feed, 3, copy_rows=True
+        ):
+            shipment = channel.ship_batch(batch)
+            assert shipment.bytes_sent > batch.feed_size()
+            total_rows += batch.row_count()
+            eids.extend(row.eid for row in batch.rows)
+        assert total_rows == feed.row_count()
+        assert sorted(eids) == sorted(row.eid for row in feed.rows)
+
+    def test_closed_channel_rejects_batches(self, feed):
+        from repro.core.stream import FragmentStream
+
+        channel = SimulatedChannel()
+        batch = next(iter(FragmentStream.from_instance(feed, 2)))
+        channel.close()
+        with pytest.raises(TransportError):
+            channel.ship_batch(batch)
+
     def test_reset(self, feed):
         channel = SimulatedChannel()
         channel.ship_fragment(feed)

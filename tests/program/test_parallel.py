@@ -187,3 +187,30 @@ class TestMakespan:
             simulate_parallel_makespan(
                 program, placement, report, workers=0
             )
+
+    def test_comm_overlap_credits_pipelining(self, run):
+        """Full intra-edge overlap hides min(compute, comm) per group,
+        so a comm-heavy run gets strictly faster."""
+        program, placement, report = run
+        report.comm_seconds = 10.0
+        base = simulate_parallel_makespan(
+            program, placement, report, workers=4
+        )
+        overlapped = simulate_parallel_makespan(
+            program, placement, report, workers=4, comm_overlap=1.0
+        )
+        assert overlapped.parallel_seconds < base.parallel_seconds
+        partial = simulate_parallel_makespan(
+            program, placement, report, workers=4, comm_overlap=0.5
+        )
+        assert overlapped.parallel_seconds <= partial.parallel_seconds
+        assert partial.parallel_seconds <= base.parallel_seconds
+
+    def test_bad_comm_overlap_rejected(self, run):
+        program, placement, report = run
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                simulate_parallel_makespan(
+                    program, placement, report, workers=4,
+                    comm_overlap=bad,
+                )

@@ -34,6 +34,38 @@ class TestInMemoryEndpoint:
         with pytest.raises(EndpointError):
             endpoint.scan(customers_s.fragment("Order"))
 
+    def test_scan_stream_returns_copies(self, customers_s,
+                                        customer_documents):
+        endpoint = InMemoryEndpoint("m")
+        feeds = fragment_customers(customer_documents, customers_s)
+        endpoint.put(feeds["Order"])
+        fragment = customers_s.fragment("Order")
+        for batch in endpoint.scan_stream(fragment, 2):
+            for row in batch.rows:
+                row.data.attrs["mutated"] = "yes"
+        clean = endpoint.scan(fragment)
+        assert all(
+            "mutated" not in row.data.attrs for row in clean.rows
+        )
+
+    def test_scan_stream_missing_fragment(self, customers_s):
+        endpoint = InMemoryEndpoint("m")
+        with pytest.raises(EndpointError):
+            endpoint.scan_stream(customers_s.fragment("Order"), 2)
+
+    def test_write_stream_round_trip(self, customers_s,
+                                     customer_documents):
+        from repro.core.stream import FragmentStream
+
+        feeds = fragment_customers(customer_documents, customers_s)
+        fragment = customers_s.fragment("Order")
+        endpoint = InMemoryEndpoint("m")
+        endpoint.write_stream(
+            fragment, FragmentStream.from_instance(feeds["Order"], 2)
+        )
+        assert endpoint.scan(fragment).row_count() == \
+            feeds["Order"].row_count()
+
 
 class TestRelationalEndpoint:
     def test_load_scan_round_trip(self, auction_mf, auction_document):
@@ -55,6 +87,36 @@ class TestRelationalEndpoint:
         ).row_count()
         target.reset_storage()
         assert target.total_rows() == 0
+
+    def test_stream_round_trip_matches_materialized(self, auction_mf,
+                                                    auction_document):
+        """scan_stream batches concatenate to the scan feed, and
+        write_stream loads them identically to write."""
+        source = RelationalEndpoint("S", auction_mf)
+        source.load_document(auction_document)
+        fragment = auction_mf.fragment_of("item")
+        streamed_rows = [
+            row
+            for batch in source.scan_stream(fragment, 7)
+            for row in batch.rows
+        ]
+        materialized = source.scan(fragment)
+        schema = fragment.schema
+        assert [
+            serialize(row.data.to_xml(schema))
+            for row in streamed_rows
+        ] == [
+            serialize(row.data.to_xml(schema))
+            for row in materialized.rows
+        ]
+
+        from repro.core.stream import FragmentStream
+
+        target = RelationalEndpoint("T", auction_mf)
+        target.write_stream(
+            fragment, FragmentStream.from_instance(materialized, 7)
+        )
+        assert target.total_rows() == len(streamed_rows)
 
     def test_statistics_measured_from_store(self, auction_mf,
                                             auction_document):
@@ -164,6 +226,59 @@ class TestDirectoryEndpoint:
                        feeds["Feature"])
         with pytest.raises(EndpointError, match="parents"):
             endpoint.materialize()
+
+    def test_orphan_error_reports_deferred_count(self, customers_t,
+                                                 customer_documents):
+        """The EndpointError names exactly how many rows stayed
+        unresolvable, so a partial write is diagnosable."""
+        endpoint = DirectoryEndpoint("prov", customers_t)
+        feeds = fragment_customers(customer_documents, customers_t)
+        endpoint.write(customers_t.fragment("Feature"),
+                       feeds["Feature"])
+        orphan_rows = feeds["Feature"].row_count()
+        assert orphan_rows > 0
+        with pytest.raises(
+            EndpointError,
+            match=rf"{orphan_rows} rows reference parents",
+        ):
+            endpoint.materialize()
+
+    def test_deep_chain_resolves_over_multiple_passes(self, customers_t,
+                                                      customer_documents):
+        """Written deepest-first, every fragment level defers at least
+        once before its parent level lands — materialize must keep
+        re-trying deferred rows until a pass makes no progress."""
+        endpoint = DirectoryEndpoint("prov", customers_t)
+        feeds = fragment_customers(customer_documents, customers_t)
+        depth_order = ("Feature", "Line_Switch", "Order_Service",
+                       "Customer")
+        for name in depth_order:
+            endpoint.write(customers_t.fragment(name), feeds[name])
+        store = endpoint.materialize()
+        # Every row of every fragment made it in despite the ordering.
+        for name in depth_order:
+            class_name = endpoint._class_name(
+                customers_t.fragment(name)
+            )
+            assert len(store.search(class_name)) == \
+                feeds[name].row_count()
+
+    def test_write_stream_defers_like_write(self, customers_t,
+                                            customer_documents):
+        from repro.core.stream import FragmentStream
+
+        endpoint = DirectoryEndpoint("prov", customers_t)
+        feeds = fragment_customers(customer_documents, customers_t)
+        for name in ("Feature", "Line_Switch", "Order_Service",
+                     "Customer"):
+            endpoint.write_stream(
+                customers_t.fragment(name),
+                FragmentStream.from_instance(feeds[name], 2),
+            )
+        store = endpoint.materialize()
+        assert len(store) == sum(
+            instance.row_count() for instance in feeds.values()
+        )
 
     def test_scan_returns_written(self, customers_t,
                                   customer_documents):

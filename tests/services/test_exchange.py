@@ -21,7 +21,7 @@ def loaded_source(auction_mf, auction_document):
     return source
 
 
-def de_outcome(source, target_fragmentation, scenario="x"):
+def de_outcome(source, target_fragmentation, scenario="x", **kwargs):
     target = RelationalEndpoint(
         f"T-{scenario}", target_fragmentation
     )
@@ -31,7 +31,7 @@ def de_outcome(source, target_fragmentation, scenario="x"):
     placement = source_heavy_placement(program)
     outcome = run_optimized_exchange(
         program, placement, source, target, SimulatedChannel(),
-        scenario,
+        scenario, **kwargs,
     )
     return outcome, target
 
@@ -64,6 +64,47 @@ class TestOptimizedExchange:
         outcome, _ = de_outcome(loaded_source, auction_lf)
         assert "DE" in outcome.breakdown()
         assert "source_processing" in outcome.breakdown()
+
+
+class TestStreamingExchange:
+    def test_streaming_matches_materialized(self, loaded_source,
+                                            auction_lf):
+        materialized, mat_target = de_outcome(
+            loaded_source, auction_lf, "mat"
+        )
+        streaming, stream_target = de_outcome(
+            loaded_source, auction_lf, "stream", batch_rows=16
+        )
+        assert materialized.batch_rows is None
+        assert streaming.batch_rows == 16
+        assert streaming.rows_written == materialized.rows_written
+        for fragment in auction_lf:
+            expected = mat_target.scan(fragment)
+            got = stream_target.scan(fragment)
+            assert [(row.eid, row.parent) for row in got.rows] == \
+                [(row.eid, row.parent) for row in expected.rows]
+
+    def test_peaks_populated_and_bounded(self, loaded_source,
+                                         auction_lf):
+        materialized, _ = de_outcome(loaded_source, auction_lf, "m2")
+        streaming, _ = de_outcome(
+            loaded_source, auction_lf, "s2", batch_rows=8
+        )
+        assert materialized.peak_resident_rows > 0
+        assert 0 < streaming.peak_resident_rows \
+            < materialized.peak_resident_rows
+        assert 0 < streaming.peak_resident_bytes \
+            < materialized.peak_resident_bytes
+
+    def test_parallel_streaming_wiring(self, loaded_source,
+                                       auction_lf):
+        streaming, target = de_outcome(
+            loaded_source, auction_lf, "ps", batch_rows=16,
+            parallel_workers=2,
+        )
+        assert streaming.batch_rows == 16
+        assert streaming.rows_written == target.total_rows()
+        assert streaming.peak_resident_rows > 0
 
 
 class TestPublishAndMap:

@@ -80,6 +80,37 @@ class TestExchangeCosts:
         assert parallel.publish.total == sequential.publish.total
         assert parallel.reduction_percent > sequential.reduction_percent
 
+    def test_batch_rows_hides_communication(self, simulator,
+                                            fragmentations):
+        source_fragmentation, target_fragmentation = fragmentations
+        materialized = simulator.exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"), order_limit=40,
+        )
+        streamed = simulator.exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"), order_limit=40,
+            batch_rows=1,
+        )
+        # Pipelined shipping hides communication behind computation;
+        # the compute estimate itself is untouched.
+        assert streamed.exchange.communication < \
+            materialized.exchange.communication
+        assert streamed.exchange.computation == pytest.approx(
+            materialized.exchange.computation
+        )
+        assert streamed.publish.total == materialized.publish.total
+
+    def test_bad_batch_rows_rejected(self, simulator,
+                                     fragmentations):
+        source_fragmentation, target_fragmentation = fragmentations
+        with pytest.raises(ValueError):
+            simulator.exchange_costs(
+                source_fragmentation, target_fragmentation,
+                MachineProfile("s"), MachineProfile("t"),
+                order_limit=40, batch_rows=0,
+            )
+
     def test_publish_cost_all_at_source(self, simulator,
                                         fragmentations):
         source_fragmentation, _ = fragmentations

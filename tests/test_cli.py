@@ -72,6 +72,21 @@ class TestExchangeCommand:
         assert "parallel program execution (2 workers)" in output
         assert "s wall" in output
 
+    def test_streaming_batch_rows(self):
+        output = run_cli(
+            "exchange", "MF", "MF", "--size", "2.5",
+            "--scale", "0.02", "--batch-rows", "64",
+        )
+        assert "streaming dataplane (batch_rows=64)" in output
+        assert "resident rows" in output
+
+    def test_bad_batch_rows_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["exchange", "MF", "MF", "--batch-rows", "0"],
+                io.StringIO(),
+            )
+
 
 class TestSimulateCommand:
     def test_table5_config(self):
