@@ -6,6 +6,8 @@ Usage::
     python -m repro exchange MF LF --size 25 # run DE vs publish&map
     python -m repro exchange MF MF --workers 4   # parallel DE execution
     python -m repro exchange MF MF --batch-rows 64  # streaming dataplane
+    python -m repro exchange MF LF --fault-plan drop=0.1,corrupt=0.05 \
+        --retries 6                          # lossy channel, healed
     python -m repro wsdl LF                  # the registration document
     python -m repro simulate --ratio 1/5     # a Table 5 configuration
 
@@ -28,6 +30,7 @@ from repro.core.mapping import derive_mapping
 from repro.core.optimizer.placement import source_heavy_placement
 from repro.core.program.builder import build_transfer_program
 from repro.core.program.render import summary, to_dot, to_text
+from repro.net.faults import FaultPlan, RetryPolicy
 from repro.net.transport import SimulatedChannel
 from repro.reporting.tables import format_table
 from repro.schema.generator import balanced_schema
@@ -129,6 +132,20 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         raise SystemExit(
             f"--batch-rows must be >= 1, got {args.batch_rows}"
         )
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            raise SystemExit(f"--fault-plan: {exc}") from exc
+    retry_policy = None
+    if args.retries is not None or fault_plan is not None:
+        attempts = args.retries if args.retries is not None else 4
+        if attempts < 1:
+            raise SystemExit(
+                f"--retries must be >= 1, got {attempts}"
+            )
+        retry_policy = RetryPolicy(max_attempts=attempts)
     source_frag, target_frag = _resolve_pair(args.source, args.target)
     document = generate_xmark_document(
         scaled_bytes(args.size, scale=args.scale), seed=args.seed
@@ -145,11 +162,15 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         f"{args.source}->{args.target}",
         parallel_workers=args.workers,
         batch_rows=args.batch_rows,
+        retry_policy=retry_policy,
+        fault_plan=fault_plan,
     )
     pm_target = RelationalEndpoint("pm-target", target_frag)
     pm = run_publish_and_map(
         source, pm_target, SimulatedChannel(),
         f"{args.source}->{args.target}",
+        retry_policy=retry_policy,
+        fault_plan=fault_plan,
     )
     rows = [
         [outcome.method] + [
@@ -180,6 +201,15 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
             f"streaming dataplane (batch_rows={args.batch_rows}): "
             f"peak {de.peak_resident_rows} resident rows "
             f"({de.peak_resident_bytes:,} bytes)",
+            file=out,
+        )
+    if fault_plan is not None:
+        print(
+            f"lossy channel ({fault_plan.describe()}): "
+            f"DE injected {de.faults_injected} faults, healed with "
+            f"{de.retries} retries "
+            f"({de.redelivered_batches} duplicates discarded); "
+            f"PM {pm.faults_injected} faults, {pm.retries} retries",
             file=out,
         )
     return 0
@@ -266,6 +296,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="run the DE program phase with this many parallel "
              "workers (1 = sequential, the paper's setup)",
+    )
+    exchange.add_argument(
+        "--fault-plan", default=None,
+        help="inject channel faults: rates like "
+             "'drop=0.1,corrupt=0.05,seed=7' or a script like "
+             "'drop@3,corrupt@5' (see repro.net.faults.FaultPlan)",
+    )
+    exchange.add_argument(
+        "--retries", type=int, default=None,
+        help="max delivery attempts per message (default 4 when "
+             "--fault-plan is set; without it sends are not retried)",
     )
     exchange.add_argument(
         "--batch-rows", type=int, default=None,

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.errors import ProgramError
 from repro.core.fragment import Fragment
@@ -33,7 +33,11 @@ from repro.core.ops.scan import Scan
 from repro.core.ops.split import Split
 from repro.core.ops.write import Write
 from repro.core.program.dag import Placement, TransferProgram
+from repro.core.program.journal import ExchangeJournal, write_key
 from repro.core.stream import FragmentStream, ResidencyMeter, RowBatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.faults import RetryPolicy
 
 
 class DataEndpoint(Protocol):
@@ -121,6 +125,13 @@ class ExecutionReport:
     buffers) as measured by :class:`~repro.core.stream.ResidencyMeter`
     — the quantity the streaming dataplane bounds.  ``batch_rows``
     records the knob the run used (``None`` = materialized).
+
+    **Robustness** (zero on a fault-free run over a perfect channel):
+    ``retries`` counts re-sends the reliable shipping layer performed
+    after transport failures, ``redelivered_batches`` duplicate
+    deliveries it discarded, and ``resume_count`` earlier attempts
+    recorded in the run's :class:`~repro.core.program.journal.
+    ExchangeJournal` (0 when no journal, or on its first attempt).
     """
 
     op_timings: list[OperationTiming] = field(default_factory=list)
@@ -147,6 +158,9 @@ class ExecutionReport:
     peak_resident_rows: int = 0
     peak_resident_bytes: int = 0
     batch_rows: int | None = None
+    retries: int = 0
+    redelivered_batches: int = 0
+    resume_count: int = 0
 
     @property
     def source_seconds(self) -> float:
@@ -191,17 +205,31 @@ class ProgramExecutor:
     whole materialized instances, an integer moves row batches of that
     size through the streaming pipeline instead — same written output,
     bounded resident rows.
+
+    ``retry`` arms the reliable shipping layer (see
+    :mod:`repro.net.faults`): cross-edge sends that fail with a
+    transport error are re-sent per the policy, duplicate deliveries
+    are discarded, re-ordered batch streams are re-assembled.  Without
+    it a transport failure propagates (fail-fast).  ``journal`` arms
+    checkpoint/resume: completed writes — and, for endpoints that load
+    incrementally, individual stored batches — are acknowledged as the
+    run progresses, and a rerun over the same journal skips the
+    acknowledged work instead of re-shipping it.
     """
 
     def __init__(self, source: DataEndpoint, target: DataEndpoint,
                  channel: ShippingChannel | None = None,
-                 batch_rows: int | None = None) -> None:
+                 batch_rows: int | None = None,
+                 retry: "RetryPolicy | None" = None,
+                 journal: ExchangeJournal | None = None) -> None:
         if batch_rows is not None and batch_rows < 1:
             raise ValueError("batch_rows must be >= 1 or None")
         self.source = source
         self.target = target
         self.channel: ShippingChannel = channel or _ZeroCostChannel()
         self.batch_rows = batch_rows
+        self.retry = retry
+        self.journal = journal
 
     def _endpoint(self, location: Location) -> DataEndpoint:
         return self.source if location is Location.SOURCE else self.target
@@ -225,10 +253,20 @@ class ProgramExecutor:
             return StreamingRun(
                 program, placement, self.source, self.target,
                 self.channel, self.batch_rows,
+                retry=self.retry, journal=self.journal,
             ).execute_sequential()
 
         started = time.perf_counter()
         report = ExecutionReport()
+        if self.journal is not None:
+            report.resume_count = self.journal.begin_run()
+        channel = self.channel
+        stats = None
+        if self.retry is not None:
+            from repro.net.faults import ReliableChannel, RobustnessStats
+
+            stats = RobustnessStats()
+            channel = ReliableChannel(self.channel, self.retry, stats)
         meter = ResidencyMeter()
         # In-flight values keyed by producer port, tagged with the
         # system currently holding them.
@@ -238,6 +276,17 @@ class ProgramExecutor:
 
         for node in program.topological_order():
             location = placement[node.op_id]
+            # A write acknowledged by an earlier attempt is skipped
+            # wholesale on resume: its inputs are consumed (the
+            # producers still ran — they may feed other writes) but
+            # nothing is shipped or stored again.
+            skip = (
+                self.journal is not None
+                and isinstance(node, Write)
+                and self.journal.write_done(
+                    write_key(node.op_id, node.fragment.name)
+                )
+            )
             inputs: list[FragmentInstance] = []
             for edge in program.in_edges(node):
                 key = (edge.producer.op_id, edge.output_index)
@@ -256,8 +305,8 @@ class ProgramExecutor:
                         f"{edge.output_index} {detail}"
                     ) from exc
                 consumed.add(key)
-                if holder is not location:
-                    shipment = self.channel.ship_fragment(instance)
+                if holder is not location and not skip:
+                    shipment = channel.ship_fragment(instance)
                     report.comm_bytes += shipment.bytes_sent
                     report.comm_seconds += shipment.seconds
                     report.shipments += 1
@@ -268,7 +317,12 @@ class ProgramExecutor:
                 (instance.row_count(), instance.estimated_size())
                 for instance in inputs
             ]
-            outputs, elapsed, rows = self._execute(node, location, inputs)
+            if skip:
+                outputs, elapsed, rows = [], 0.0, 0
+            else:
+                outputs, elapsed, rows = self._execute(
+                    node, location, inputs
+                )
             for in_rows, in_bytes in input_sizes:
                 meter.release(in_rows, in_bytes)
             for output in outputs:
@@ -280,6 +334,10 @@ class ProgramExecutor:
             report.comp_seconds[location] += elapsed
             if node.kind == "write":
                 report.rows_written += rows
+                if self.journal is not None and not skip:
+                    self.journal.ack_write(
+                        write_key(node.op_id, node.fragment.name)
+                    )
             for index, output in enumerate(outputs):
                 values[(node.op_id, index)] = (output, location)
         if values:
@@ -289,6 +347,9 @@ class ProgramExecutor:
             raise ProgramError(f"unconsumed program outputs: {leftovers}")
         report.peak_resident_rows = meter.peak_rows
         report.peak_resident_bytes = meter.peak_bytes
+        if stats is not None:
+            report.retries = stats.retries
+            report.redelivered_batches = stats.redelivered
         report.wall_seconds = time.perf_counter() - started
         report.critical_path_seconds = critical_path_seconds(
             program, report

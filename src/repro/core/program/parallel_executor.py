@@ -38,6 +38,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 from repro.errors import ProgramError
 from repro.core.instance import FragmentInstance
@@ -52,7 +53,11 @@ from repro.core.program.executor import (
     critical_path_seconds,
     execute_operation,
 )
+from repro.core.program.journal import ExchangeJournal, write_key
 from repro.core.stream import ResidencyMeter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.faults import RetryPolicy
 
 
 class ParallelProgramExecutor:
@@ -68,7 +73,9 @@ class ParallelProgramExecutor:
     def __init__(self, source: DataEndpoint, target: DataEndpoint,
                  channel: ShippingChannel | None = None,
                  workers: int = 4,
-                 batch_rows: int | None = None) -> None:
+                 batch_rows: int | None = None,
+                 retry: "RetryPolicy | None" = None,
+                 journal: ExchangeJournal | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if batch_rows is not None and batch_rows < 1:
@@ -78,6 +85,8 @@ class ParallelProgramExecutor:
         self.channel: ShippingChannel = channel or _ZeroCostChannel()
         self.workers = workers
         self.batch_rows = batch_rows
+        self.retry = retry
+        self.journal = journal
 
     def run(self, program: TransferProgram,
             placement: Placement | None = None) -> ExecutionReport:
@@ -100,10 +109,12 @@ class ParallelProgramExecutor:
             return StreamingRun(
                 program, placement, self.source, self.target,
                 self.channel, self.batch_rows,
+                retry=self.retry, journal=self.journal,
             ).execute_parallel(self.workers)
         run = _ScheduledRun(
             program, placement, self.source, self.target,
             self.channel, self.workers,
+            retry=self.retry, journal=self.journal,
         )
         return run.execute()
 
@@ -113,13 +124,22 @@ class _ScheduledRun:
 
     def __init__(self, program: TransferProgram, placement: Placement,
                  source: DataEndpoint, target: DataEndpoint,
-                 channel: ShippingChannel, workers: int) -> None:
+                 channel: ShippingChannel, workers: int,
+                 retry: "RetryPolicy | None" = None,
+                 journal: ExchangeJournal | None = None) -> None:
         self.program = program
         self.placement = placement
         self.source = source
         self.target = target
         self.channel = channel
         self.workers = workers
+        self.journal = journal
+        self._rstats = None
+        if retry is not None:
+            from repro.net.faults import ReliableChannel, RobustnessStats
+
+            self._rstats = RobustnessStats()
+            self.channel = ReliableChannel(channel, retry, self._rstats)
         self.report = ExecutionReport()
         self.meter = ResidencyMeter()
         # Scheduling state, guarded by _lock.
@@ -141,6 +161,8 @@ class _ScheduledRun:
 
     def execute(self) -> ExecutionReport:
         started = time.perf_counter()
+        if self.journal is not None:
+            self.report.resume_count = self.journal.begin_run()
         with ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-compute",
         ) as compute, ThreadPoolExecutor(
@@ -165,6 +187,9 @@ class _ScheduledRun:
             raise ProgramError(f"unconsumed program outputs: {leftovers}")
         self.report.peak_resident_rows = self.meter.peak_rows
         self.report.peak_resident_bytes = self.meter.peak_bytes
+        if self._rstats is not None:
+            self.report.retries = self._rstats.retries
+            self.report.redelivered_batches = self._rstats.redelivered
         self.report.wall_seconds = time.perf_counter() - started
         self.report.critical_path_seconds = critical_path_seconds(
             self.program, self.report
@@ -178,6 +203,17 @@ class _ScheduledRun:
         self._done.set()
 
     # -- tasks -------------------------------------------------------------------
+
+    def _write_done(self, node: Operation) -> bool:
+        """Whether ``node`` is a write acknowledged by an earlier
+        attempt (skipped wholesale on resume)."""
+        return (
+            self.journal is not None
+            and node.kind == "write"
+            and self.journal.write_done(
+                write_key(node.op_id, node.fragment.name)
+            )
+        )
 
     def _run_node(self, node: Operation) -> None:
         if self._failure is not None:
@@ -198,9 +234,13 @@ class _ScheduledRun:
                 (instance.row_count(), instance.estimated_size())
                 for instance in inputs
             ]
-            outputs, elapsed, rows = execute_operation(
-                node, endpoint, inputs
-            )
+            skip = self._write_done(node)
+            if skip:
+                outputs, elapsed, rows = [], 0.0, 0
+            else:
+                outputs, elapsed, rows = execute_operation(
+                    node, endpoint, inputs
+                )
             for in_rows, in_bytes in input_sizes:
                 self.meter.release(in_rows, in_bytes)
             for output in outputs:
@@ -215,6 +255,11 @@ class _ScheduledRun:
                 self.report.comp_seconds[location] += elapsed
                 if node.kind == "write":
                     self.report.rows_written += rows
+            if node.kind == "write" and self.journal is not None \
+                    and not skip:
+                self.journal.ack_write(
+                    write_key(node.op_id, node.fragment.name)
+                )
             for index, output in enumerate(outputs):
                 key = (node.op_id, index)
                 edge = self._consumer_of.get(key)
@@ -222,7 +267,8 @@ class _ScheduledRun:
                     with self._lock:
                         self._leftovers.append(key)
                     continue
-                if self.placement[edge.consumer.op_id] is not location:
+                if self.placement[edge.consumer.op_id] is not location \
+                        and not self._write_done(edge.consumer):
                     self._shippers.submit(self._ship, edge, key, output)
                 else:
                     self._deliver(edge, output)

@@ -48,7 +48,13 @@ from repro.core.program.executor import (
     ShippingChannel,
     critical_path_seconds,
 )
+from repro.core.program.journal import ExchangeJournal, write_key
 from repro.core.stream import FragmentStream, ResidencyMeter, RowBatch
+from repro.net.faults import (
+    ReliableBatchLink,
+    RetryPolicy,
+    RobustnessStats,
+)
 
 
 class _AbortedRun(RuntimeError):
@@ -125,13 +131,18 @@ class StreamingRun:
 
     def __init__(self, program: TransferProgram, placement: Placement,
                  source: DataEndpoint, target: DataEndpoint,
-                 channel: ShippingChannel, batch_rows: int) -> None:
+                 channel: ShippingChannel, batch_rows: int,
+                 retry: RetryPolicy | None = None,
+                 journal: ExchangeJournal | None = None) -> None:
         self.program = program
         self.placement = placement
         self.source = source
         self.target = target
         self.channel = channel
         self.batch_rows = batch_rows
+        self.retry = retry
+        self.journal = journal
+        self._rstats = RobustnessStats()
         self.report = ExecutionReport(batch_rows=batch_rows)
         self.meter = ResidencyMeter()
         self._lock = threading.Lock()
@@ -147,15 +158,19 @@ class StreamingRun:
     def execute_sequential(self) -> ExecutionReport:
         """Drive every Write in topological order, single-threaded."""
         started = time.perf_counter()
+        if self.journal is not None:
+            self.report.resume_count = self.journal.begin_run()
         drives = self._build()
-        for node, endpoint, batches in drives:
-            self._drive_write(node, endpoint, batches)
+        for drive in drives:
+            self._drive_write(*drive)
         return self._finish(started)
 
     def execute_parallel(self, workers: int) -> ExecutionReport:
         """Drive every Write as its own task on a ``workers``-wide
         pool, with cross-edge prefetch on a second pool."""
         started = time.perf_counter()
+        if self.journal is not None:
+            self.report.resume_count = self.journal.begin_run()
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-stream",
         ) as compute, ThreadPoolExecutor(
@@ -200,6 +215,8 @@ class StreamingRun:
                 report.rows_written += stats.rows
         report.peak_resident_rows = self.meter.peak_rows
         report.peak_resident_bytes = self.meter.peak_bytes
+        report.retries = self._rstats.retries
+        report.redelivered_batches = self._rstats.redelivered
         report.wall_seconds = time.perf_counter() - started
         report.critical_path_seconds = critical_path_seconds(
             self.program, report
@@ -209,27 +226,47 @@ class StreamingRun:
     # -- compiling the DAG into a batch network ---------------------------------
 
     def _build(self) -> list[tuple[Write, DataEndpoint,
-                                   Iterator[RowBatch]]]:
-        """Wire every node's output iterators; return the Write drives."""
+                                   Iterator[RowBatch], int]]:
+        """Wire every node's output iterators; return the Write drives.
+
+        Resume (journal set): a write acknowledged by an earlier
+        attempt gets no drive at all — its input iterator is wired but
+        never pulled, so nothing upstream of it is recomputed or
+        re-shipped.  A partially-stored write into an endpoint that
+        loads incrementally resumes mid-stream: batches up to the
+        acknowledged high-water mark (``skip_through``) replay through
+        the pipeline but bypass the wire and the store.
+        """
         streams: dict[tuple[int, int],
                       tuple[Iterator[RowBatch], Location]] = {}
-        drives: list[tuple[Write, DataEndpoint, Iterator[RowBatch]]] = []
+        drives: list[tuple[Write, DataEndpoint,
+                           Iterator[RowBatch], int]] = []
         for node in self.program.topological_order():
             location = self.placement[node.op_id]
             endpoint = (
                 self.source if location is Location.SOURCE
                 else self.target
             )
+            done = False
+            skip_through = -1
+            if isinstance(node, Write) and self.journal is not None:
+                jkey = write_key(node.op_id, node.fragment.name)
+                done = self.journal.write_done(jkey)
+                if not done and getattr(
+                        endpoint, "incremental_writes", False):
+                    skip_through = self.journal.acked_through(jkey)
             inputs: list[Iterator[RowBatch]] = []
             for edge in self.program.in_edges(node):
                 key = (edge.producer.op_id, edge.output_index)
                 iterator, holder = streams.pop(key)
-                if holder is not location:
+                if holder is not location and not done:
                     if self._prefetch_pool is not None:
                         iterator = _Prefetch(
                             iterator, self._prefetch_pool, self._abort
                         )
-                    iterator = self._shipped(key, iterator)
+                    iterator = self._shipped(
+                        key, iterator, skip_through
+                    )
                 inputs.append(iterator)
             outputs: list[Iterator[RowBatch]]
             if isinstance(node, Scan):
@@ -244,7 +281,10 @@ class StreamingRun:
                     inputs[0], tick=self._ticker(node), meter=self.meter
                 )
             elif isinstance(node, Write):
-                drives.append((node, endpoint, inputs[0]))
+                if not done:
+                    drives.append(
+                        (node, endpoint, inputs[0], skip_through)
+                    )
                 outputs = []
             else:
                 raise ProgramError(
@@ -293,39 +333,80 @@ class StreamingRun:
         return generate()
 
     def _shipped(self, key: tuple[int, int],
-                 iterator: Iterator[RowBatch]) -> Iterator[RowBatch]:
+                 iterator: Iterator[RowBatch],
+                 skip_through: int = -1) -> Iterator[RowBatch]:
         report = self.report
         with self._lock:
             report.shipments += 1
             report.shipment_bytes.setdefault(key, 0)
             report.shipment_seconds.setdefault(key, 0.0)
             report.shipment_batches.setdefault(key, 0)
+        link = None
+        if self.retry is not None:
+            link = ReliableBatchLink(
+                self.channel, self.retry, self._rstats, edge=key,
+                start_seq=skip_through + 1,
+            )
+
+        def account(shipment) -> None:
+            with self._lock:
+                report.comm_bytes += shipment.bytes_sent
+                report.comm_seconds += shipment.seconds
+                report.shipment_bytes[key] += shipment.bytes_sent
+                report.shipment_seconds[key] += shipment.seconds
+                report.shipment_batches[key] += 1
 
         def generate() -> Iterator[RowBatch]:
             for batch in iterator:
-                shipment = self.channel.ship_batch(batch)
-                with self._lock:
-                    report.comm_bytes += shipment.bytes_sent
-                    report.comm_seconds += shipment.seconds
-                    report.shipment_bytes[key] += shipment.bytes_sent
-                    report.shipment_seconds[key] += shipment.seconds
-                    report.shipment_batches[key] += 1
-                yield batch
+                if batch.seq <= skip_through:
+                    # Already stored by the consumer in an earlier
+                    # attempt — replay it past the wire unshipped (the
+                    # write skips it too).
+                    yield batch
+                    continue
+                if link is not None:
+                    shipment, delivered = link.send(batch)
+                    account(shipment)
+                    yield from delivered
+                else:
+                    shipment = self.channel.ship_batch(batch)
+                    account(shipment)
+                    yield batch
+            if link is not None:
+                yield from link.finish()
 
         return generate()
 
     def _drive_write(self, node: Write, endpoint: DataEndpoint,
-                     batches: Iterator[RowBatch]) -> None:
+                     batches: Iterator[RowBatch],
+                     skip_through: int = -1) -> None:
         if self._abort.is_set():
             raise _AbortedRun("streaming run aborted")
+        jkey = write_key(node.op_id, node.fragment.name)
+        # Per-batch acknowledgements are only meaningful for endpoints
+        # that store each batch as it arrives; a materializing endpoint
+        # replaces the whole instance at end of stream, so a partial
+        # run stored nothing and only the whole-write ack holds.
+        incremental = (
+            self.journal is not None
+            and getattr(endpoint, "incremental_writes", False)
+        )
         pull_seconds = 0.0
         rows_total = 0
         pending_release: tuple[int, int] | None = None
+        pending_ack: int | None = None
 
         def instrumented() -> Iterator[RowBatch]:
-            nonlocal pull_seconds, rows_total, pending_release
+            nonlocal pull_seconds, rows_total, pending_release, \
+                pending_ack
             iterator = iter(batches)
             while True:
+                # Resuming the pull means the endpoint finished
+                # storing the previously yielded batch — acknowledge
+                # it now, before anything else can fail.
+                if pending_ack is not None:
+                    self.journal.ack_batch(jkey, pending_ack)
+                    pending_ack = None
                 started = time.perf_counter()
                 try:
                     batch = next(iterator)
@@ -335,9 +416,18 @@ class StreamingRun:
                 pull_seconds += time.perf_counter() - started
                 if pending_release is not None:
                     self.meter.release(*pending_release)
+                    pending_release = None
+                if batch.seq <= skip_through:
+                    # Stored by an earlier attempt; don't load again.
+                    self.meter.release(
+                        len(batch.rows), batch.estimated_size()
+                    )
+                    continue
                 pending_release = (
                     len(batch.rows), batch.estimated_size()
                 )
+                if incremental:
+                    pending_ack = batch.seq
                 rows_total += len(batch.rows)
                 yield batch
 
@@ -348,4 +438,8 @@ class StreamingRun:
         elapsed = (time.perf_counter() - started) - pull_seconds
         if pending_release is not None:
             self.meter.release(*pending_release)
+        if self.journal is not None:
+            if pending_ack is not None:
+                self.journal.ack_batch(jkey, pending_ack)
+            self.journal.ack_write(jkey)
         self._ticker(node)(max(elapsed, 0.0), rows_total)

@@ -80,6 +80,32 @@ class TransportError(ReproError):
     """Raised by the simulated network transport (closed channel, overflow)."""
 
 
+class MessageDropped(TransportError):
+    """Raised when a message is lost in flight (fault injection)."""
+
+
+class MessageCorrupted(TransportError):
+    """Raised when a received message fails its integrity check."""
+
+
+class MessageTimeout(TransportError):
+    """Raised when a message exceeds the per-message delivery timeout."""
+
+
+class RetryExhausted(TransportError):
+    """Raised when a retry policy gives up on a message.
+
+    Carries the total ``attempts`` made and the ``last_cause`` — the
+    final transport failure that exhausted the budget.
+    """
+
+    def __init__(self, message: str, attempts: int,
+                 last_cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_cause = last_cause
+
+
 class SoapFault(ReproError):
     """Raised when a SOAP envelope is malformed or carries a fault."""
 

@@ -1,13 +1,24 @@
-"""Network substrate: SOAP framing and a simulated transport.
+"""Network substrate: SOAP framing, a simulated transport, and faults.
 
 The paper deploys its service over SOAP 1.1 / HTTP between two machines
 connected through the Internet; here :mod:`repro.net.soap` provides the
 envelope codec (fragment feeds and whole documents travel as SOAP
-bodies) and :mod:`repro.net.transport` a channel that charges bytes
-against a configured bandwidth/latency — the measured quantity behind
-Table 3.
+bodies with content checksums and sequence numbers),
+:mod:`repro.net.transport` a channel that charges bytes against a
+configured bandwidth/latency — the measured quantity behind Table 3 —
+and :mod:`repro.net.faults` a deterministic lossy-channel wrapper plus
+the retry/de-duplication/re-ordering layer that heals it.
 """
 
+from repro.net.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultyChannel,
+    ReliableBatchLink,
+    ReliableChannel,
+    RetryPolicy,
+    RobustnessStats,
+)
 from repro.net.soap import (
     parse_envelope,
     soap_envelope,
@@ -19,6 +30,13 @@ from repro.net.transport import NetworkProfile, SimulatedChannel
 __all__ = [
     "NetworkProfile",
     "SimulatedChannel",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyChannel",
+    "RetryPolicy",
+    "ReliableChannel",
+    "ReliableBatchLink",
+    "RobustnessStats",
     "soap_envelope",
     "parse_envelope",
     "wrap_fragment_feed",

@@ -1,0 +1,780 @@
+"""Lossy-channel fault injection and the reliable shipping layer.
+
+The paper's step 4 runs the transfer program over a real Internet path
+(Table 3); real paths drop, corrupt, duplicate, re-order, and delay
+messages.  This module makes transport failure a first-class input:
+
+* :class:`FaultPlan` — a deterministic, seeded schedule of faults.
+  Each wire transmission gets a global message index; the plan decides
+  (by per-index seeded draw, or an explicit script) whether and how
+  that transmission fails.  Same plan, same decisions — runs are
+  reproducible, which is what lets the differential suite assert
+  byte-identical output under loss.
+* :class:`FaultyChannel` — wraps any shipping channel and applies the
+  plan: drops and corruptions raise (after charging the wasted bytes
+  to the wrapped channel — a lost message burned the wire), duplicates
+  deliver twice, re-orders hold a message back until the next one
+  passes it, delays inflate transfer time.
+* :class:`RetryPolicy` — bounded attempts with exponential backoff (a
+  ``jitter`` hook decorates the delay) and an optional per-message
+  timeout; exhaustion raises :class:`~repro.errors.RetryExhausted`
+  carrying the attempt count and last cause.
+* :class:`ReliableChannel` / :class:`ReliableBatchLink` — the healing
+  layer the executors wire in: re-send on drop/corruption/timeout,
+  de-duplicate re-deliveries by sequence number (idempotent delivery),
+  and re-assemble re-ordered batch streams in ``seq`` order, so the
+  written output stays byte-identical to a fault-free run.
+
+Corruption detection is real where the wire is real: with a
+``wire_format`` channel the corrupted SOAP message fails its Adler-32
+feed checksum on decode (:mod:`repro.net.soap`); on byte-counting
+channels the checksum verdict is simulated.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field, fields
+from enum import Enum
+from typing import Callable, Iterable, Mapping, TypeVar
+
+from repro.errors import (
+    MessageCorrupted,
+    MessageDropped,
+    MessageTimeout,
+    RetryExhausted,
+    SoapFault,
+    TransportError,
+)
+from repro.core.instance import FragmentInstance
+from repro.core.program.executor import Shipment
+from repro.core.stream import RowBatch
+from repro.net.soap import CHECKSUM_ATTR, unwrap_fragment_feed, wrap_fragment_feed
+
+_T = TypeVar("_T")
+
+
+class FaultKind(str, Enum):
+    """The ways one wire transmission can misbehave."""
+
+    DROP = "drop"
+    CORRUPT = "corrupt"
+    DUPLICATE = "duplicate"
+    REORDER = "reorder"
+    DELAY = "delay"
+
+
+#: Rate-style fields of :class:`FaultPlan`, in draw order.
+_RATE_FIELDS = ("drop", "corrupt", "duplicate", "reorder", "delay")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of channel faults.
+
+    Two modes:
+
+    * **seeded rates** — each transmission index draws once from a
+      ``random.Random`` seeded by ``(seed, index)``, so the decision
+      for message *i* is stable regardless of thread interleaving or
+      how many other messages were sent;
+    * **scripted** — ``script`` maps message indices to fault kinds
+      exactly (the fault-matrix tests use this to make every kind fire
+      on schedule).
+
+    ``delay_seconds`` is the extra in-flight time a ``delay`` (or a
+    held ``reorder``) message suffers.
+    """
+
+    drop: float = 0.0
+    corrupt: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 0.05
+    seed: int = 0
+    script: Mapping[int, FaultKind] | None = None
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"fault rate {name}={rate} must be in [0, 1]"
+                )
+        if sum(getattr(self, name) for name in _RATE_FIELDS) > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds cannot be negative")
+        if self.script is not None and any(
+            getattr(self, name) for name in _RATE_FIELDS
+        ):
+            raise ValueError(
+                "a scripted plan cannot also carry fault rates"
+            )
+
+    @classmethod
+    def scripted(cls, schedule: Mapping[int, FaultKind | str],
+                 **kwargs: object) -> "FaultPlan":
+        """A plan firing exactly the given ``index -> kind`` schedule."""
+        script = {
+            int(index): FaultKind(kind)
+            for index, kind in schedule.items()
+        }
+        return cls(script=script, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a CLI spec.
+
+        Rate form: ``"drop=0.1,corrupt=0.05,seed=7"``.  Scripted form:
+        ``"drop@3,corrupt@5"`` (fault kind at message index).  The two
+        forms cannot be mixed, matching the dataclass's validation.
+
+        Raises:
+            ValueError: on unknown keys, bad numbers, or mixed forms.
+        """
+        numeric = {f.name for f in fields(cls)} - {"script", "seed"}
+        rates: dict[str, float] = {}
+        seed: int | None = None
+        script: dict[int, FaultKind] = {}
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "@" in token:
+                kind_text, _, index_text = token.partition("@")
+                try:
+                    script[int(index_text)] = FaultKind(kind_text.strip())
+                except ValueError as exc:
+                    raise ValueError(
+                        f"bad scripted fault {token!r}: {exc}"
+                    ) from exc
+                continue
+            key, _, value = token.partition("=")
+            key = key.strip()
+            if key == "seed":
+                seed = int(value)
+            elif key in numeric:
+                try:
+                    rates[key] = float(value)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"bad fault rate {token!r}"
+                    ) from exc
+            else:
+                raise ValueError(
+                    f"unknown fault-plan key {key!r} (expected one of "
+                    f"{sorted(numeric | {'seed'})} or kind@index)"
+                )
+        kwargs: dict[str, object] = dict(rates)
+        if seed is not None:
+            kwargs["seed"] = seed
+        if script:
+            kwargs["script"] = script
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def fault_for(self, index: int) -> FaultKind | None:
+        """The fault (if any) transmission number ``index`` suffers."""
+        if self.script is not None:
+            return self.script.get(index)
+        draw = random.Random(f"{self.seed}:{index}").random()
+        for name in _RATE_FIELDS:
+            draw -= getattr(self, name)
+            if draw < 0.0:
+                return FaultKind(name)
+        return None
+
+    @property
+    def failure_probability(self) -> float:
+        """Per-transmission chance of an unusable delivery (the
+        re-send-triggering kinds: drop and corrupt)."""
+        return min(1.0, self.drop + self.corrupt)
+
+    def expected_transmission_factor(self, max_attempts: int) -> float:
+        """Expected wire transmissions per delivered message.
+
+        Retries multiply traffic by the truncated geometric series
+        ``(1 - p^n) / (1 - p)`` for failure probability ``p`` and up to
+        ``n`` attempts; duplicates add their extra copy on top.  This
+        is the expected-cost-under-loss model the simulator applies to
+        communication cost.
+        """
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        p = self.failure_probability
+        if p >= 1.0:
+            attempts = float(max_attempts)
+        else:
+            attempts = (1.0 - p ** max_attempts) / (1.0 - p)
+        return attempts * (1.0 + self.duplicate)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports and the CLI."""
+        if self.script is not None:
+            schedule = ",".join(
+                f"{kind.value}@{index}"
+                for index, kind in sorted(self.script.items())
+            )
+            return schedule or "no faults"
+        parts = [
+            f"{name}={getattr(self, name):g}"
+            for name in _RATE_FIELDS
+            if getattr(self, name)
+        ]
+        if not parts:
+            return "no faults"
+        return ",".join(parts) + f",seed={self.seed}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded re-send policy for one message.
+
+    ``delay_for(failures)`` grows exponentially from
+    ``base_delay_seconds`` by ``backoff_factor``, capped at
+    ``max_delay_seconds``; a ``jitter`` hook (e.g. ``lambda d:
+    d * random.random()``) decorates the computed delay.  ``sleep`` is
+    injectable so tests never wait for real.  ``timeout_seconds``
+    bounds one message's simulated delivery time — a slower delivery
+    counts as a failure and is re-sent.
+    """
+
+    max_attempts: int = 4
+    base_delay_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    max_delay_seconds: float = 1.0
+    timeout_seconds: float | None = None
+    jitter: Callable[[float], float] | None = None
+    sleep: Callable[[float], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_seconds < 0:
+            raise ValueError("base_delay_seconds cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive or None")
+
+    def delay_for(self, failures: int) -> float:
+        """Backoff delay after the ``failures``-th consecutive failure
+        (1-based)."""
+        delay = min(
+            self.base_delay_seconds
+            * self.backoff_factor ** (failures - 1),
+            self.max_delay_seconds,
+        )
+        if self.jitter is not None:
+            delay = self.jitter(delay)
+        return max(delay, 0.0)
+
+    def check_timeout(self, shipment: Shipment) -> Shipment:
+        """Enforce the per-message timeout on a delivery receipt.
+
+        Raises:
+            MessageTimeout: if the shipment took longer than allowed
+                (the wasted transmission stays charged).
+        """
+        if self.timeout_seconds is not None \
+                and shipment.seconds > self.timeout_seconds:
+            raise MessageTimeout(
+                f"message took {shipment.seconds:.3f}s, over the "
+                f"{self.timeout_seconds:.3f}s timeout"
+            )
+        return shipment
+
+    def run(self, send: Callable[[], _T], describe: str,
+            stats: "RobustnessStats | None" = None) -> _T:
+        """Call ``send`` until it succeeds or attempts run out.
+
+        Retryable failures are :class:`~repro.errors.TransportError`
+        and :class:`~repro.errors.SoapFault` (drop, corruption,
+        timeout); anything else propagates immediately.
+
+        Raises:
+            RetryExhausted: after ``max_attempts`` failures, carrying
+                the attempt count and the last cause.
+        """
+        last: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return send()
+            except (TransportError, SoapFault) as exc:
+                if isinstance(exc, RetryExhausted):
+                    raise
+                last = exc
+                if stats is not None and isinstance(exc, MessageTimeout):
+                    stats.count_timeout()
+                if attempt == self.max_attempts:
+                    break
+                if stats is not None:
+                    stats.count_retry()
+                delay = self.delay_for(attempt)
+                if delay > 0:
+                    (self.sleep or time.sleep)(delay)
+        raise RetryExhausted(
+            f"{describe}: gave up after {self.max_attempts} attempts "
+            f"({last})",
+            attempts=self.max_attempts,
+            last_cause=last,
+        ) from last
+
+
+class RobustnessStats:
+    """Thread-safe counters of the reliable layer's healing work."""
+
+    __slots__ = ("_lock", "retries", "redelivered", "timeouts")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.retries = 0
+        self.redelivered = 0
+        self.timeouts = 0
+
+    def count_retry(self) -> None:
+        """One re-send after a transport failure."""
+        with self._lock:
+            self.retries += 1
+
+    def count_redelivered(self, copies: int = 1) -> None:
+        """``copies`` duplicate deliveries discarded by seq dedup."""
+        with self._lock:
+            self.redelivered += copies
+
+    def count_timeout(self) -> None:
+        """One delivery abandoned for exceeding the message timeout."""
+        with self._lock:
+            self.timeouts += 1
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """What a :class:`FaultyChannel` actually injected."""
+
+    drops: int = 0
+    corruptions: int = 0
+    duplicates: int = 0
+    reorders: int = 0
+    delays: int = 0
+
+    @property
+    def injected(self) -> int:
+        """Total faults fired."""
+        return (self.drops + self.corruptions + self.duplicates
+                + self.reorders + self.delays)
+
+
+def corrupt_soap_message(message: str) -> str:
+    """Flip content inside a SOAP message (the in-flight bit error).
+
+    Prefers mangling the feed checksum's first hex digit — guaranteed
+    to be caught by verification — and falls back to rotating a
+    character in the middle of the payload.
+    """
+    marker = f'{CHECKSUM_ATTR}="'
+    position = message.find(marker)
+    if position >= 0:
+        position += len(marker)
+    else:
+        position = len(message) // 2
+    original = message[position]
+    replacement = "0" if original != "0" else "1"
+    return message[:position] + replacement + message[position + 1:]
+
+
+class FaultyChannel:
+    """Deterministic fault-injecting wrapper around a shipping channel.
+
+    Implements the executors' ``ShippingChannel`` protocol: without a
+    retry layer above it, injected drops/corruptions surface as raised
+    :class:`~repro.errors.TransportError` subclasses (fail-fast, the
+    pre-robustness behaviour).  The ``transmit_*`` methods additionally
+    report *what the receiver got* — zero, one, or two copies, possibly
+    out of order — which is what :class:`ReliableChannel` and
+    :class:`ReliableBatchLink` heal from.
+
+    Every transmission (including re-sends) consumes a fresh message
+    index from the plan and, when the wrapped channel supports it
+    (:meth:`~repro.net.transport.SimulatedChannel.charge_lost`), failed
+    transmissions charge their bytes — loss is never free.  Unknown
+    attributes delegate to the wrapped channel so accounting
+    (``total_bytes``, ``reset``, …) reads through.
+    """
+
+    def __init__(self, inner: object, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.stats = FaultStats()
+        self._lock = threading.Lock()
+        self._index = 0
+        self._held: dict[object, list[RowBatch]] = {}
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(self.inner, name)
+
+    # -- plan bookkeeping --------------------------------------------------------
+
+    def _next_fault(self) -> tuple[int, FaultKind | None]:
+        with self._lock:
+            index = self._index
+            self._index += 1
+        return index, self.plan.fault_for(index)
+
+    def _charge_lost(self, size_bytes: int) -> None:
+        charge = getattr(self.inner, "charge_lost", None)
+        if charge is not None:
+            charge(size_bytes)
+
+    def _charge_delay(self, seconds: float) -> None:
+        charge = getattr(self.inner, "charge_delay", None)
+        if charge is not None:
+            charge(seconds)
+
+    def _count(self, attr: str) -> None:
+        with self._lock:
+            setattr(self.stats, attr, getattr(self.stats, attr) + 1)
+
+    # -- sizes mirror what the wrapped channel charges ----------------------------
+
+    def _wire(self) -> bool:
+        return bool(getattr(self.inner, "wire_format", False))
+
+    def _fragment_size(self, instance: FragmentInstance) -> int:
+        if self._wire():
+            return len(wrap_fragment_feed(instance))
+        return instance.feed_size()
+
+    def _batch_size(self, batch: RowBatch) -> int:
+        if self._wire():
+            return len(wrap_fragment_feed(
+                FragmentInstance(batch.fragment, batch.rows),
+                seq=batch.seq,
+            ))
+        return batch.feed_size()
+
+    def _corrupt(self, index: int, instance: FragmentInstance,
+                 seq: int | None, size: int) -> None:
+        """Charge the garbled transmission and raise its detection."""
+        self._count("corruptions")
+        if self._wire():
+            message = corrupt_soap_message(
+                wrap_fragment_feed(instance, seq=seq)
+            )
+            self._charge_lost(len(message))
+            try:
+                unwrap_fragment_feed(message, instance.fragment)
+            except SoapFault as fault:
+                raise MessageCorrupted(
+                    f"message {index} corrupted in flight: {fault}"
+                ) from fault
+        else:
+            self._charge_lost(size)
+        raise MessageCorrupted(
+            f"message {index} corrupted in flight "
+            "(feed checksum mismatch)"
+        )
+
+    # -- ShippingChannel protocol -------------------------------------------------
+
+    def ship_fragment(self, instance: FragmentInstance) -> Shipment:
+        """Ship a whole feed; raises on injected drop/corruption."""
+        shipment, _ = self.transmit_fragment(instance)
+        return shipment
+
+    def ship_batch(self, batch: RowBatch) -> Shipment:
+        """Ship one batch; raises on injected drop/corruption."""
+        shipment, _ = self.transmit_batch(batch)
+        return shipment
+
+    def ship_document(self, text: str) -> Shipment:
+        """Ship a published document; raises on drop/corruption."""
+        index, kind = self._next_fault()
+        if kind is FaultKind.DROP:
+            self._count("drops")
+            self._charge_lost(len(text))
+            raise MessageDropped(
+                f"document message {index} dropped by fault plan"
+            )
+        if kind is FaultKind.CORRUPT:
+            self._count("corruptions")
+            self._charge_lost(len(text))
+            raise MessageCorrupted(
+                f"document message {index} corrupted in flight"
+            )
+        shipment = self.inner.ship_document(text)
+        if kind is FaultKind.DUPLICATE:
+            self._count("duplicates")
+            self._charge_lost(len(text))
+        elif kind in (FaultKind.DELAY, FaultKind.REORDER):
+            self._count("delays" if kind is FaultKind.DELAY
+                        else "reorders")
+            self._charge_delay(self.plan.delay_seconds)
+            shipment = Shipment(
+                shipment.bytes_sent,
+                shipment.seconds + self.plan.delay_seconds,
+            )
+        return shipment
+
+    # -- delivery-level API (used by the reliable layer) ---------------------------
+
+    def transmit_fragment(
+        self, instance: FragmentInstance,
+    ) -> tuple[Shipment, list[FragmentInstance]]:
+        """One wire transmission of a whole feed.
+
+        Returns the charge receipt plus the copies the receiver got.
+        A single-message edge has nothing to overtake, so ``reorder``
+        degrades to a delayed (but delivered) message.
+        """
+        index, kind = self._next_fault()
+        if kind is FaultKind.DROP:
+            self._count("drops")
+            self._charge_lost(self._fragment_size(instance))
+            raise MessageDropped(
+                f"message {index} dropped by fault plan"
+            )
+        if kind is FaultKind.CORRUPT:
+            self._corrupt(index, instance, None,
+                          self._fragment_size(instance))
+        shipment = self.inner.ship_fragment(instance)
+        if kind is FaultKind.DUPLICATE:
+            self._count("duplicates")
+            self._charge_lost(self._fragment_size(instance))
+            return shipment, [instance, instance]
+        if kind in (FaultKind.DELAY, FaultKind.REORDER):
+            self._count("delays" if kind is FaultKind.DELAY
+                        else "reorders")
+            self._charge_delay(self.plan.delay_seconds)
+            shipment = Shipment(
+                shipment.bytes_sent,
+                shipment.seconds + self.plan.delay_seconds,
+            )
+        return shipment, [instance]
+
+    def transmit_batch(
+        self, batch: RowBatch, edge: object = None,
+    ) -> tuple[Shipment, list[RowBatch]]:
+        """One wire transmission of a stream batch.
+
+        ``edge`` scopes the re-order holdback: a held batch is released
+        right after the next successful transmission *of the same
+        edge*, arriving behind its successor (the out-of-order
+        delivery the receiver's seq reassembly must fix).
+        """
+        index, kind = self._next_fault()
+        if kind is FaultKind.DROP:
+            self._count("drops")
+            self._charge_lost(self._batch_size(batch))
+            raise MessageDropped(
+                f"message {index} (batch {batch.seq}) dropped by "
+                "fault plan"
+            )
+        if kind is FaultKind.CORRUPT:
+            self._corrupt(index, batch.to_instance(), batch.seq,
+                          self._batch_size(batch))
+        shipment = self.inner.ship_batch(batch)
+        with self._lock:
+            held = self._held.setdefault(edge, [])
+            if kind is FaultKind.REORDER:
+                # Transmitted now, delivered behind the next message.
+                self.stats.reorders += 1
+                held.append(batch)
+                return shipment, []
+            delivered = [batch] + held[:]
+            held.clear()
+        if kind is FaultKind.DUPLICATE:
+            self._count("duplicates")
+            self._charge_lost(self._batch_size(batch))
+            delivered.insert(1, batch)
+        elif kind is FaultKind.DELAY:
+            self._count("delays")
+            self._charge_delay(self.plan.delay_seconds)
+            shipment = Shipment(
+                shipment.bytes_sent,
+                shipment.seconds + self.plan.delay_seconds,
+            )
+        return shipment, delivered
+
+    def flush_batches(self, edge: object = None) -> list[RowBatch]:
+        """Deliver any batches still held back on ``edge`` (stream
+        end: the late messages do eventually arrive)."""
+        with self._lock:
+            held = self._held.pop(edge, [])
+        return held
+
+
+class ReliableChannel:
+    """At-least-once adapter over any shipping channel.
+
+    Wraps every send in the :class:`RetryPolicy` (drop, corruption and
+    timeout trigger re-sends; a fresh transmission gets a fresh fault
+    draw) and discards duplicate deliveries, counting them in
+    ``stats``.  Implements the executors' ``ShippingChannel`` protocol;
+    unknown attributes delegate to the wrapped channel.
+    """
+
+    def __init__(self, channel: object, policy: RetryPolicy,
+                 stats: RobustnessStats | None = None) -> None:
+        self.channel = channel
+        self.policy = policy
+        self.stats = stats or RobustnessStats()
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(self.channel, name)
+
+    def _settle(self, shipment: Shipment,
+                delivered: list[object]) -> Shipment:
+        self.policy.check_timeout(shipment)
+        if len(delivered) > 1:
+            self.stats.count_redelivered(len(delivered) - 1)
+        return shipment
+
+    def ship_fragment(self, instance: FragmentInstance) -> Shipment:
+        """Deliver a whole feed, retrying injected failures."""
+        transmit = getattr(self.channel, "transmit_fragment", None)
+
+        def send() -> Shipment:
+            if transmit is not None:
+                shipment, delivered = transmit(instance)
+            else:
+                shipment = self.channel.ship_fragment(instance)
+                delivered = [instance]
+            return self._settle(shipment, delivered)
+
+        return self.policy.run(
+            send, f"fragment feed {instance.fragment.name!r}",
+            self.stats,
+        )
+
+    def ship_batch(self, batch: RowBatch) -> Shipment:
+        """Deliver one batch, retrying injected failures."""
+        transmit = getattr(self.channel, "transmit_batch", None)
+
+        def send() -> Shipment:
+            if transmit is not None:
+                shipment, delivered = transmit(batch)
+            else:
+                shipment = self.channel.ship_batch(batch)
+                delivered = [batch]
+            return self._settle(shipment, delivered)
+
+        return self.policy.run(
+            send,
+            f"batch {batch.seq} of fragment {batch.fragment.name!r}",
+            self.stats,
+        )
+
+    def ship_document(self, text: str) -> Shipment:
+        """Deliver a published document, retrying injected failures."""
+
+        def send() -> Shipment:
+            return self.policy.check_timeout(
+                self.channel.ship_document(text)
+            )
+
+        return self.policy.run(send, "published document", self.stats)
+
+
+class ReliableBatchLink:
+    """Reliable in-order delivery of one cross-edge batch stream.
+
+    The sender side re-sends on failure (per :class:`RetryPolicy`);
+    the receiver side de-duplicates by batch ``seq`` and buffers
+    out-of-order arrivals until the gap fills, emitting batches in
+    exactly the order a fault-free channel would have.  Deliveries are
+    absorbed *before* the timeout verdict, so a late-but-delivered
+    message is never lost — its re-send is simply discarded as a
+    duplicate.
+    """
+
+    def __init__(self, channel: object, policy: RetryPolicy | None,
+                 stats: RobustnessStats, edge: object,
+                 start_seq: int = 0) -> None:
+        self.channel = channel
+        self.policy = policy
+        self.stats = stats
+        self.edge = edge
+        self._transmit = getattr(channel, "transmit_batch", None)
+        self._flush = getattr(channel, "flush_batches", None)
+        self._expected = start_seq
+        self._seen: set[int] = set()
+        self._buffer: dict[int, RowBatch] = {}
+
+    def _absorb(self, delivered: Iterable[RowBatch]) -> list[RowBatch]:
+        ready: list[RowBatch] = []
+        for batch in delivered:
+            if batch.seq in self._seen or batch.seq < self._expected:
+                self.stats.count_redelivered()
+                continue
+            self._seen.add(batch.seq)
+            self._buffer[batch.seq] = batch
+        while self._expected in self._buffer:
+            ready.append(self._buffer.pop(self._expected))
+            self._seen.discard(self._expected)
+            self._expected += 1
+        return ready
+
+    def send(self, batch: RowBatch
+             ) -> tuple[Shipment, list[RowBatch]]:
+        """Transmit one batch; return the charge receipt and every
+        batch that became deliverable in order."""
+        ready: list[RowBatch] = []
+
+        def attempt() -> Shipment:
+            if self._transmit is not None:
+                shipment, delivered = self._transmit(batch, self.edge)
+            else:
+                shipment = self.channel.ship_batch(batch)
+                delivered = [batch]
+            ready.extend(self._absorb(delivered))
+            if self.policy is not None:
+                self.policy.check_timeout(shipment)
+            return shipment
+
+        if self.policy is not None:
+            shipment = self.policy.run(
+                attempt,
+                f"batch {batch.seq} of fragment "
+                f"{batch.fragment.name!r}",
+                self.stats,
+            )
+        else:
+            shipment = attempt()
+        return shipment, ready
+
+    def finish(self) -> list[RowBatch]:
+        """Flush held-back deliveries at end of stream.
+
+        Raises:
+            TransportError: if a sequence gap survives the flush (a
+                batch was never delivered despite retries).
+        """
+        delivered = (
+            self._flush(self.edge) if self._flush is not None else []
+        )
+        ready = self._absorb(delivered)
+        if self._buffer:
+            missing = self._expected
+            arrived = sorted(self._buffer)
+            raise TransportError(
+                f"batch stream gap: batch {missing} never arrived "
+                f"(received {arrived} past it)"
+            )
+        return ready
+
+
+def reliable_ship_fragment(
+    channel: object, policy: RetryPolicy | None,
+    instance: FragmentInstance, stats: RobustnessStats,
+) -> Shipment:
+    """Ship one materialized feed through the reliable layer (or
+    straight through when no policy is configured)."""
+    if policy is None:
+        return channel.ship_fragment(instance)
+    return ReliableChannel(channel, policy, stats).ship_fragment(
+        instance
+    )

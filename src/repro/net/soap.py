@@ -5,9 +5,18 @@ inside one SOAP body.  The wire format preserves element ids (a ``_eid``
 attribute on every element) exactly as a sorted-feed shipment carries
 its keys/foreign keys in the paper's setting; ``ID``/``PARENT`` appear
 on fragment roots per Definition 3.1.
+
+Every feed message additionally carries an Adler-32 ``checksum`` of its
+row content and, for chunked streaming transfers, a ``seq`` number —
+the receiver verifies the checksum (corruption in flight surfaces as a
+:class:`~repro.errors.SoapFault` instead of silently wrong data) and
+the sequence numbers let the reliable shipping layer de-duplicate and
+re-order deliveries (see :mod:`repro.net.faults`).
 """
 
 from __future__ import annotations
+
+import zlib
 
 from repro.errors import SoapFault
 from repro.core.fragment import ID_ATTR, PARENT_ATTR, Fragment
@@ -17,6 +26,8 @@ from repro.xmlkit.writer import serialize
 
 ENVELOPE_NS = "http://schemas.xmlsoap.org/soap/envelope/"
 _EID_ATTR = "_eid"
+CHECKSUM_ATTR = "checksum"
+SEQ_ATTR = "seq"
 
 
 def soap_envelope(body: Element) -> str:
@@ -85,19 +96,37 @@ def _element_from_wire(element: Element) -> ElementData:
     return data
 
 
-def wrap_fragment_feed(instance: FragmentInstance) -> str:
-    """Serialize a fragment instance as one SOAP message."""
-    feed = Element(
-        "FragmentFeed",
-        {
-            "fragment": instance.fragment.name,
-            "count": str(instance.row_count()),
-        },
-    )
+def feed_digest(rows: list[Element]) -> str:
+    """Adler-32 digest over the canonical serialization of wire rows.
+
+    The wire serializer is deterministic (fixed attribute and child
+    order), so re-serializing the rows a receiver parsed reproduces the
+    sender's bytes — any in-flight mutation of row content changes the
+    digest.
+    """
+    blob = "".join(serialize(row, indent=None) for row in rows)
+    return format(zlib.adler32(blob.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def wrap_fragment_feed(instance: FragmentInstance,
+                       seq: int | None = None) -> str:
+    """Serialize a fragment instance as one SOAP message.
+
+    The message carries a content ``checksum``; ``seq`` (set for
+    chunked streaming transfers) numbers this message within its feed.
+    """
+    attrs = {
+        "fragment": instance.fragment.name,
+        "count": str(instance.row_count()),
+    }
+    if seq is not None:
+        attrs[SEQ_ATTR] = str(seq)
+    feed = Element("FragmentFeed", attrs)
     for row in instance.rows:
         feed.children.append(
             _element_to_wire(row.data, row.parent, expose=True)
         )
+    feed.attrs[CHECKSUM_ATTR] = feed_digest(feed.children)
     return soap_envelope(feed)
 
 
@@ -117,6 +146,13 @@ def unwrap_fragment_feed(text: str,
         raise SoapFault(
             f"feed carries fragment {declared!r}, expected "
             f"{fragment.name!r}"
+        )
+    declared_digest = payload.get(CHECKSUM_ATTR)
+    if declared_digest is not None \
+            and declared_digest != feed_digest(payload.children):
+        raise SoapFault(
+            f"feed of fragment {declared!r} failed its checksum "
+            "(message corrupted in flight)"
         )
     rows: list[FragmentRow] = []
     for child in payload.children:

@@ -68,6 +68,8 @@ class SimulatedChannel:
         self.total_bytes = 0
         self.total_seconds = 0.0
         self.messages = 0
+        self.lost_messages = 0
+        self.lost_bytes = 0
         self._closed = False
         self._lock = threading.Lock()
 
@@ -83,6 +85,8 @@ class SimulatedChannel:
             self.total_bytes = 0
             self.total_seconds = 0.0
             self.messages = 0
+            self.lost_messages = 0
+            self.lost_bytes = 0
 
     def _charge(self, size_bytes: int) -> Shipment:
         if self._closed:
@@ -95,6 +99,28 @@ class SimulatedChannel:
         if self.realtime:
             time.sleep(seconds)
         return Shipment(size_bytes, seconds)
+
+    def charge_lost(self, size_bytes: int) -> Shipment:
+        """Account a transmission that consumed the wire but delivered
+        nothing usable — a dropped or corrupted message, or the
+        discarded copy of a duplicate.
+
+        Failed and retried sends burn bandwidth and link time exactly
+        like successful ones; without this accounting a lossy run would
+        understate its communication cost by every wasted transmission.
+        """
+        shipment = self._charge(size_bytes)
+        with self._lock:
+            self.lost_messages += 1
+            self.lost_bytes += size_bytes
+        return shipment
+
+    def charge_delay(self, seconds: float) -> None:
+        """Account extra in-flight time (an injected delivery delay)."""
+        with self._lock:
+            self.total_seconds += seconds
+        if self.realtime:
+            time.sleep(seconds)
 
     # -- cost interface (used by probes) ---------------------------------------------
 
@@ -138,7 +164,7 @@ class SimulatedChannel:
         if not self.wire_format:
             return self._charge(batch.feed_size())
         instance = FragmentInstance(batch.fragment, batch.rows)
-        message = wrap_fragment_feed(instance)
+        message = wrap_fragment_feed(instance, seq=batch.seq)
         shipment = self._charge(len(message))
         received = unwrap_fragment_feed(message, batch.fragment)
         batch.rows[:] = received.rows

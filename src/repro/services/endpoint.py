@@ -36,6 +36,14 @@ from repro.relational.frag_store import FragmentRelationMapper
 class SystemEndpoint(abc.ABC):
     """Base class: store-backed Scan/Write plus the cost interface."""
 
+    #: Whether :meth:`write_stream` stores each batch durably as it
+    #: arrives.  Endpoints that do (the relational one bulk-loads per
+    #: batch) can resume a partially-stored write from the exchange
+    #: journal's per-batch acknowledgements; endpoints that
+    #: materialize and replace the whole instance at end of stream
+    #: cannot, and resume at whole-write granularity only.
+    incremental_writes = False
+
     def __init__(self, name: str,
                  machine: MachineProfile | None = None) -> None:
         self.name = name
@@ -123,6 +131,8 @@ class SystemEndpoint(abc.ABC):
 class RelationalEndpoint(SystemEndpoint):
     """An endpoint backed by the relational engine (the paper's MySQL
     systems), storing one registered fragmentation."""
+
+    incremental_writes = True
 
     def __init__(self, name: str, fragmentation: Fragmentation,
                  machine: MachineProfile | None = None,

@@ -19,7 +19,15 @@ from dataclasses import dataclass, field
 
 from repro.core.program.dag import Placement, TransferProgram
 from repro.core.program.executor import ProgramExecutor
+from repro.core.program.journal import ExchangeJournal
 from repro.core.program.parallel_executor import ParallelProgramExecutor
+from repro.net.faults import (
+    FaultPlan,
+    FaultyChannel,
+    ReliableChannel,
+    RetryPolicy,
+    RobustnessStats,
+)
 from repro.net.transport import SimulatedChannel
 from repro.relational.publisher import publish_document
 from repro.relational.shredder import shred_document
@@ -60,6 +68,14 @@ class ExchangeOutcome:
     #: :class:`~repro.core.program.executor.ExecutionReport`).
     peak_resident_rows: int = 0
     peak_resident_bytes: int = 0
+    #: Healing work of the reliable shipping layer (all zero on a
+    #: fault-free run): re-sends after transport failures, duplicate
+    #: deliveries discarded, attempts recorded before this one in the
+    #: run's journal, and faults the channel actually injected.
+    retries: int = 0
+    redelivered_batches: int = 0
+    resume_count: int = 0
+    faults_injected: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -92,6 +108,9 @@ def run_optimized_exchange(
     scenario: str = "exchange",
     parallel_workers: int = 1,
     batch_rows: int | None = None,
+    retry_policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    journal: ExchangeJournal | None = None,
 ) -> ExchangeOutcome:
     """Run the optimized data exchange (Section 5.2 steps 1–5).
 
@@ -106,6 +125,11 @@ def run_optimized_exchange(
     ``batch_rows`` selects the executor's dataplane: ``None`` moves
     materialized instances, an integer streams row batches of that size
     (bounded peak residency, chunked shipping, same written fragments).
+
+    ``fault_plan`` makes the channel lossy (see :mod:`repro.net.
+    faults`); ``retry_policy`` arms the reliable layer that heals the
+    loss; ``journal`` arms checkpoint/resume.  Communication cost then
+    includes the wasted transmissions — loss is charged, not hidden.
     """
     if parallel_workers < 1:
         raise ValueError("parallel_workers must be >= 1")
@@ -114,20 +138,31 @@ def run_optimized_exchange(
         batch_rows=batch_rows,
     )
     channel.reset()
+    wire = (
+        FaultyChannel(channel, fault_plan)
+        if fault_plan is not None else channel
+    )
     if parallel_workers > 1:
         executor: ProgramExecutor | ParallelProgramExecutor = \
             ParallelProgramExecutor(
-                source, target, channel, workers=parallel_workers,
+                source, target, wire, workers=parallel_workers,
                 batch_rows=batch_rows,
+                retry=retry_policy, journal=journal,
             )
     else:
         executor = ProgramExecutor(
-            source, target, channel, batch_rows=batch_rows
+            source, target, wire, batch_rows=batch_rows,
+            retry=retry_policy, journal=journal,
         )
     report = executor.run(program, placement)
     outcome.wall_seconds = report.wall_seconds
     outcome.peak_resident_rows = report.peak_resident_rows
     outcome.peak_resident_bytes = report.peak_resident_bytes
+    outcome.retries = report.retries
+    outcome.redelivered_batches = report.redelivered_batches
+    outcome.resume_count = report.resume_count
+    if isinstance(wire, FaultyChannel):
+        outcome.faults_injected = wire.stats.injected
     load_seconds = report.seconds_for_kind("write")
     outcome.steps["source_processing"] = report.source_seconds
     outcome.steps["communication"] = channel.total_seconds
@@ -148,18 +183,41 @@ def run_publish_and_map(
     target: RelationalEndpoint,
     channel: SimulatedChannel,
     scenario: str = "exchange",
+    retry_policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ExchangeOutcome:
-    """Run publish&map (Section 5.1 steps 1–6)."""
+    """Run publish&map (Section 5.1 steps 1–6).
+
+    ``fault_plan``/``retry_policy`` behave as in
+    :func:`run_optimized_exchange`; PM ships one monolithic document,
+    so a drop or corruption re-sends the *whole* document — the
+    robustness asymmetry against DE's per-fragment (or per-batch)
+    retries.
+    """
     outcome = ExchangeOutcome(scenario, "PM")
     channel.reset()
+    wire = (
+        FaultyChannel(channel, fault_plan)
+        if fault_plan is not None else channel
+    )
+    stats = RobustnessStats()
+    shipper = (
+        ReliableChannel(wire, retry_policy, stats)
+        if retry_policy is not None else wire
+    )
 
     started = time.perf_counter()
     report = publish_document(source.db, source.mapper)
     outcome.steps["source_processing"] = time.perf_counter() - started
 
-    shipment = channel.ship_document(report.document)
-    outcome.steps["communication"] = shipment.seconds
-    outcome.comm_bytes = shipment.bytes_sent
+    shipper.ship_document(report.document)
+    # Totals rather than the receipt: failed attempts burned the wire
+    # too, and PM pays them at whole-document size.
+    outcome.steps["communication"] = channel.total_seconds
+    outcome.comm_bytes = channel.total_bytes
+    outcome.retries = stats.retries
+    if isinstance(wire, FaultyChannel):
+        outcome.faults_injected = wire.stats.injected
 
     started = time.perf_counter()
     shredded = shred_document(report.document, target.mapper)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.cost.estimates import StatisticsCatalog
 from repro.core.cost.model import (
@@ -38,6 +39,9 @@ from repro.core.optimizer.search import (
 )
 from repro.core.program.builder import build_transfer_program
 from repro.core.program.parallel import ParallelEstimate
+
+if TYPE_CHECKING:  # pragma: no cover - keeps the sim layer net-free
+    from repro.net.faults import FaultPlan
 from repro.schema.model import SchemaTree
 from repro.sim.random_fragmentation import random_fragmentation
 
@@ -153,7 +157,9 @@ class ExchangeSimulator:
                        source: MachineProfile, target: MachineProfile,
                        order_limit: int | None = 200,
                        parallel: ParallelEstimate | None = None,
-                       batch_rows: int | None = None
+                       batch_rows: int | None = None,
+                       fault_plan: "FaultPlan | None" = None,
+                       retry_attempts: int = 4
                        ) -> SimulatedCosts:
         """Optimized DE vs publishing-only for one configuration.
 
@@ -176,6 +182,15 @@ class ExchangeSimulator:
         overlap).  Batch counts come from the statistics catalog.  The
         publishing baseline ships one monolithic document and gets no
         credit.
+
+        ``fault_plan`` prices communication under loss: both sides'
+        communication cost is multiplied by the plan's expected
+        transmissions per delivered message (a truncated geometric
+        series over ``retry_attempts``, see
+        :meth:`~repro.net.faults.FaultPlan.
+        expected_transmission_factor`) — failed and duplicated sends
+        burn the wire too, and both methods pay the same per-message
+        inflation.
         """
         model = self.model(source, target)
         mapping = derive_mapping(
@@ -216,6 +231,12 @@ class ExchangeSimulator:
             )
             exchange.communication -= hidden
         publish = self.publish_cost(source_fragmentation, source, target)
+        if fault_plan is not None:
+            factor = fault_plan.expected_transmission_factor(
+                retry_attempts
+            )
+            exchange.communication *= factor
+            publish.communication *= factor
         return SimulatedCosts(exchange, publish)
 
     # -- Table 5 ------------------------------------------------------------------

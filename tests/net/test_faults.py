@@ -1,0 +1,390 @@
+"""Fault injection and the reliable shipping layer.
+
+The fault matrix: every fault kind fires exactly on its scheduled
+message index, charges the wire for what it wasted, and is healed by
+the retry/dedup/re-order layer — or surfaces as the right
+``TransportError`` subclass when unhealed.
+"""
+
+import pytest
+
+from repro.errors import (
+    MessageCorrupted,
+    MessageDropped,
+    MessageTimeout,
+    RetryExhausted,
+    TransportError,
+)
+from repro.core.program.executor import Shipment
+from repro.core.stream import FragmentStream
+from repro.net.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultyChannel,
+    ReliableBatchLink,
+    ReliableChannel,
+    RetryPolicy,
+    RobustnessStats,
+)
+from repro.net.transport import SimulatedChannel
+from repro.workloads.customer import fragment_customers
+
+
+@pytest.fixture
+def feed(customers_s, customer_documents):
+    return fragment_customers(customer_documents, customers_s)["Order"]
+
+
+@pytest.fixture
+def batches(feed):
+    return list(FragmentStream.from_instance(feed, 2))
+
+
+def scripted(**schedule):
+    """drop=0 → FaultPlan dropping message 0, etc."""
+    return FaultPlan.scripted(
+        {index: kind for kind, index in schedule.items()},
+        delay_seconds=0.25,
+    )
+
+
+class TestFaultPlan:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(drop=0.7, corrupt=0.6)
+        with pytest.raises(ValueError):
+            FaultPlan(delay_seconds=-1)
+
+    def test_script_excludes_rates(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop=0.1, script={0: FaultKind.DROP})
+
+    def test_seeded_draws_are_deterministic(self):
+        plan = FaultPlan(drop=0.3, corrupt=0.2, seed=9)
+        first = [plan.fault_for(i) for i in range(200)]
+        again = [plan.fault_for(i) for i in range(200)]
+        assert first == again
+        assert FaultKind.DROP in first and FaultKind.CORRUPT in first
+
+    def test_seed_changes_the_schedule(self):
+        a = FaultPlan(drop=0.3, seed=1)
+        b = FaultPlan(drop=0.3, seed=2)
+        assert [a.fault_for(i) for i in range(100)] \
+            != [b.fault_for(i) for i in range(100)]
+
+    def test_scripted_fires_exactly(self):
+        plan = FaultPlan.scripted({3: "drop", 5: FaultKind.CORRUPT})
+        hits = {i: plan.fault_for(i) for i in range(8)}
+        assert hits[3] is FaultKind.DROP
+        assert hits[5] is FaultKind.CORRUPT
+        assert all(
+            kind is None for i, kind in hits.items() if i not in (3, 5)
+        )
+
+    def test_parse_rates(self):
+        plan = FaultPlan.parse("drop=0.1, corrupt=0.05, seed=7")
+        assert plan.drop == pytest.approx(0.1)
+        assert plan.corrupt == pytest.approx(0.05)
+        assert plan.seed == 7
+
+    def test_parse_script(self):
+        plan = FaultPlan.parse("drop@3,corrupt@5")
+        assert plan.script == {
+            3: FaultKind.DROP, 5: FaultKind.CORRUPT,
+        }
+
+    def test_parse_rejects_mixed_and_unknown(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("drop=0.1,corrupt@5")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("lag=0.1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("drop=lots")
+
+    def test_expected_transmission_factor(self):
+        assert FaultPlan().expected_transmission_factor(4) == 1.0
+        lossy = FaultPlan(drop=0.5)
+        # 1 + 0.5 + 0.25 + 0.125 expected transmissions.
+        assert lossy.expected_transmission_factor(4) \
+            == pytest.approx(1.875)
+        assert FaultPlan(duplicate=0.5) \
+            .expected_transmission_factor(1) == pytest.approx(1.5)
+
+    def test_describe(self):
+        assert FaultPlan().describe() == "no faults"
+        assert "drop=0.1" in FaultPlan(drop=0.1, seed=3).describe()
+        assert FaultPlan.scripted({2: "drop"}).describe() == "drop@2"
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_seconds=0)
+
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(
+            base_delay_seconds=0.1, backoff_factor=2.0,
+            max_delay_seconds=0.3,
+        )
+        assert policy.delay_for(1) == pytest.approx(0.1)
+        assert policy.delay_for(2) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.3)
+        assert policy.delay_for(9) == pytest.approx(0.3)
+
+    def test_jitter_hook_decorates_delay(self):
+        policy = RetryPolicy(
+            base_delay_seconds=0.2, jitter=lambda d: d / 2
+        )
+        assert policy.delay_for(1) == pytest.approx(0.1)
+
+    def test_run_retries_then_succeeds(self):
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise MessageDropped("gone")
+            return "delivered"
+
+        stats = RobustnessStats()
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_seconds=0.5,
+            sleep=slept.append,
+        )
+        assert policy.run(flaky, "msg", stats) == "delivered"
+        assert len(calls) == 3
+        assert stats.retries == 2
+        assert slept == [pytest.approx(0.5), pytest.approx(1.0)]
+
+    def test_exhaustion_carries_attempts_and_cause(self):
+        def always_fails():
+            raise MessageCorrupted("garbled")
+
+        policy = RetryPolicy(max_attempts=3, sleep=lambda d: None)
+        with pytest.raises(RetryExhausted) as info:
+            policy.run(always_fails, "msg")
+        assert isinstance(info.value, TransportError)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_cause, MessageCorrupted)
+
+    def test_non_transport_errors_propagate_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("a bug, not the network")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=5).run(broken, "msg")
+        assert len(calls) == 1
+
+    def test_timeout_check(self):
+        policy = RetryPolicy(timeout_seconds=0.5)
+        assert policy.check_timeout(Shipment(10, 0.4)).seconds == 0.4
+        with pytest.raises(MessageTimeout):
+            policy.check_timeout(Shipment(10, 0.6))
+
+
+class TestFaultyChannelMatrix:
+    """Every fault kind fires exactly on its scheduled index."""
+
+    def test_drop_raises_and_charges(self, feed):
+        inner = SimulatedChannel()
+        channel = FaultyChannel(inner, scripted(drop=0))
+        with pytest.raises(MessageDropped):
+            channel.ship_fragment(feed)
+        assert channel.stats.drops == 1
+        assert inner.lost_messages == 1
+        assert inner.lost_bytes == feed.feed_size()
+        # The next message is clean: schedule, not chance.
+        channel.ship_fragment(feed)
+        assert inner.messages == 2
+
+    def test_corrupt_detected_by_real_checksum(self, feed):
+        inner = SimulatedChannel(wire_format=True)
+        channel = FaultyChannel(inner, scripted(corrupt=0))
+        with pytest.raises(MessageCorrupted, match="checksum"):
+            channel.ship_fragment(feed)
+        assert channel.stats.corruptions == 1
+        assert inner.lost_messages == 1
+
+    def test_corrupt_on_byte_counting_channel(self, feed):
+        inner = SimulatedChannel()
+        channel = FaultyChannel(inner, scripted(corrupt=0))
+        with pytest.raises(MessageCorrupted):
+            channel.ship_fragment(feed)
+        assert inner.lost_bytes == feed.feed_size()
+
+    def test_duplicate_delivers_twice_and_charges_copy(self, feed):
+        inner = SimulatedChannel()
+        channel = FaultyChannel(inner, scripted(duplicate=0))
+        shipment, delivered = channel.transmit_fragment(feed)
+        assert delivered == [feed, feed]
+        assert channel.stats.duplicates == 1
+        assert inner.lost_bytes == feed.feed_size()
+        assert inner.total_bytes == 2 * feed.feed_size()
+
+    def test_reorder_holds_batch_until_next_message(self, batches):
+        channel = FaultyChannel(
+            SimulatedChannel(), scripted(reorder=0)
+        )
+        _, delivered0 = channel.transmit_batch(batches[0], edge="e")
+        assert delivered0 == []
+        _, delivered1 = channel.transmit_batch(batches[1], edge="e")
+        assert delivered1 == [batches[1], batches[0]]
+        assert channel.stats.reorders == 1
+
+    def test_flush_releases_held_batches(self, batches):
+        channel = FaultyChannel(
+            SimulatedChannel(), scripted(reorder=0)
+        )
+        channel.transmit_batch(batches[0], edge="e")
+        assert channel.flush_batches("e") == [batches[0]]
+        assert channel.flush_batches("e") == []
+
+    def test_delay_inflates_shipment(self, feed):
+        inner = SimulatedChannel()
+        channel = FaultyChannel(inner, scripted(delay=0))
+        clean = SimulatedChannel().ship_fragment(feed)
+        delayed, delivered = channel.transmit_fragment(feed)
+        assert delivered == [feed]
+        assert delayed.seconds == pytest.approx(clean.seconds + 0.25)
+        assert inner.total_seconds \
+            == pytest.approx(clean.seconds + 0.25)
+        assert channel.stats.delays == 1
+
+    def test_document_faults(self):
+        channel = FaultyChannel(
+            SimulatedChannel(), scripted(drop=0, corrupt=1)
+        )
+        with pytest.raises(MessageDropped):
+            channel.ship_document("payload")
+        with pytest.raises(MessageCorrupted):
+            channel.ship_document("payload")
+        channel.ship_document("payload")
+        assert channel.stats.injected == 2
+
+    def test_accounting_reads_through(self, feed):
+        inner = SimulatedChannel()
+        channel = FaultyChannel(inner, FaultPlan())
+        channel.ship_fragment(feed)
+        assert channel.total_bytes == inner.total_bytes
+        assert channel.messages == 1
+
+
+class TestReliableChannel:
+    def test_heals_drop_with_one_retry(self, feed):
+        inner = SimulatedChannel()
+        faulty = FaultyChannel(inner, scripted(drop=0))
+        stats = RobustnessStats()
+        reliable = ReliableChannel(
+            faulty, RetryPolicy(max_attempts=3), stats
+        )
+        shipment = reliable.ship_fragment(feed)
+        assert shipment.bytes_sent == feed.feed_size()
+        assert stats.retries == 1
+        # Both the failed and the successful transmission hit the wire.
+        assert inner.messages == 2
+        assert inner.lost_messages == 1
+
+    def test_discards_duplicate_delivery(self, feed):
+        faulty = FaultyChannel(
+            SimulatedChannel(), scripted(duplicate=0)
+        )
+        stats = RobustnessStats()
+        ReliableChannel(
+            faulty, RetryPolicy(max_attempts=2), stats
+        ).ship_fragment(feed)
+        assert stats.redelivered == 1
+
+    def test_exhaustion_raises_retry_exhausted(self, feed):
+        # Every message the policy may send is scheduled to fail.
+        faulty = FaultyChannel(
+            SimulatedChannel(),
+            FaultPlan.scripted(
+                {0: "drop", 1: "corrupt", 2: "drop"}
+            ),
+        )
+        policy = RetryPolicy(max_attempts=3, sleep=lambda d: None)
+        with pytest.raises(RetryExhausted) as info:
+            ReliableChannel(faulty, policy).ship_fragment(feed)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_cause, MessageDropped)
+
+    def test_timeout_triggers_resend(self, feed):
+        inner = SimulatedChannel()
+        budget = inner.transfer_cost(feed.feed_size())
+        faulty = FaultyChannel(inner, scripted(delay=0))
+        stats = RobustnessStats()
+        policy = RetryPolicy(
+            max_attempts=2, timeout_seconds=budget + 0.1,
+            sleep=lambda d: None,
+        )
+        ReliableChannel(faulty, policy, stats).ship_fragment(feed)
+        assert stats.timeouts == 1
+        assert stats.retries == 1
+        assert inner.messages == 2
+
+
+class TestReliableBatchLink:
+    def _link(self, plan, policy=None):
+        channel = FaultyChannel(SimulatedChannel(), plan)
+        stats = RobustnessStats()
+        link = ReliableBatchLink(
+            channel,
+            policy or RetryPolicy(max_attempts=4, sleep=lambda d: None),
+            stats, edge="e",
+        )
+        return link, stats
+
+    def test_in_order_stream_passes_through(self, batches):
+        link, _ = self._link(FaultPlan())
+        out = []
+        for batch in batches:
+            _, ready = link.send(batch)
+            out.extend(ready)
+        out.extend(link.finish())
+        assert [b.seq for b in out] == [b.seq for b in batches]
+
+    def test_reorder_is_reassembled(self, batches):
+        link, _ = self._link(scripted(reorder=0))
+        out = []
+        for batch in batches:
+            _, ready = link.send(batch)
+            out.extend(ready)
+        out.extend(link.finish())
+        assert [b.seq for b in out] \
+            == sorted(b.seq for b in batches)
+
+    def test_duplicate_is_discarded(self, batches):
+        link, stats = self._link(scripted(duplicate=0))
+        out = []
+        for batch in batches:
+            _, ready = link.send(batch)
+            out.extend(ready)
+        out.extend(link.finish())
+        assert [b.seq for b in out] == [b.seq for b in batches]
+        assert stats.redelivered == 1
+
+    def test_drop_is_resent(self, batches):
+        link, stats = self._link(scripted(drop=0))
+        out = []
+        for batch in batches:
+            _, ready = link.send(batch)
+            out.extend(ready)
+        assert stats.retries == 1
+        assert [b.seq for b in out] == [b.seq for b in batches]
+
+    def test_gap_at_finish_raises(self, batches):
+        link, _ = self._link(FaultPlan())
+        link._expected = 99  # simulate a batch that never arrived
+        link._buffer[100] = batches[0]
+        with pytest.raises(TransportError, match="gap"):
+            link.finish()

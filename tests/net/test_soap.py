@@ -93,3 +93,44 @@ class TestFragmentFeed:
         )
         with pytest.raises(SoapFault, match="_eid"):
             unwrap_fragment_feed(text, fragment)
+
+
+class TestFeedIntegrity:
+    """Checksums and sequence numbers on the wire."""
+
+    @pytest.fixture
+    def order_feed(self, customers_s, customer_documents):
+        return fragment_customers(customer_documents, customers_s)[
+            "Line_Feature"
+        ]
+
+    def test_message_carries_checksum(self, order_feed):
+        message = wrap_fragment_feed(order_feed)
+        assert 'checksum="' in message
+
+    def test_tampered_checksum_rejected(self, order_feed):
+        message = wrap_fragment_feed(order_feed)
+        head, _, tail = message.partition('checksum="')
+        tampered = head + 'checksum="' + (
+            "1" + tail[1:] if tail[0] == "0" else "0" + tail[1:]
+        )
+        with pytest.raises(SoapFault, match="checksum"):
+            unwrap_fragment_feed(tampered, order_feed.fragment)
+
+    def test_tampered_row_content_rejected(self, order_feed):
+        message = wrap_fragment_feed(order_feed)
+        first_row = order_feed.rows[0]
+        tampered = message.replace(
+            f'_eid="{first_row.eid}"', '_eid="evil"', 1
+        )
+        with pytest.raises(SoapFault, match="checksum"):
+            unwrap_fragment_feed(tampered, order_feed.fragment)
+
+    def test_sequence_number_round_trip(self, order_feed):
+        message = wrap_fragment_feed(order_feed, seq=42)
+        assert 'seq="42"' in message
+        received = unwrap_fragment_feed(message, order_feed.fragment)
+        assert received.row_count() == order_feed.row_count()
+
+    def test_unsequenced_message_has_no_seq(self, order_feed):
+        assert 'seq="' not in wrap_fragment_feed(order_feed)

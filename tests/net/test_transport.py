@@ -109,3 +109,52 @@ class TestSimulatedChannel:
         channel.close()
         with pytest.raises(TransportError):
             channel.ship_fragment(feed)
+
+
+class TestLostByteAccounting:
+    """Failed, retried and duplicated sends still burn the wire."""
+
+    def test_charge_lost_counts_both_ways(self, feed):
+        channel = SimulatedChannel()
+        size = feed.feed_size()
+        shipment = channel.charge_lost(size)
+        assert shipment.bytes_sent == size
+        assert channel.total_bytes == size
+        assert channel.lost_bytes == size
+        assert channel.lost_messages == 1
+        assert channel.messages == 1
+        assert channel.total_seconds == pytest.approx(
+            channel.transfer_cost(size)
+        )
+
+    def test_retried_send_charges_twice(self, feed):
+        """A drop followed by a successful resend costs two
+        transmissions: loss is never free."""
+        channel = SimulatedChannel()
+        size = feed.feed_size()
+        channel.charge_lost(size)       # the dropped attempt
+        channel.ship_fragment(feed)     # the retry that lands
+        assert channel.messages == 2
+        assert channel.total_bytes == 2 * size
+        assert channel.lost_bytes == size
+        assert channel.lost_messages == 1
+
+    def test_charge_delay_adds_time_only(self):
+        channel = SimulatedChannel()
+        channel.charge_delay(0.75)
+        assert channel.total_seconds == pytest.approx(0.75)
+        assert channel.total_bytes == 0
+        assert channel.messages == 0
+
+    def test_reset_clears_lost_counters(self, feed):
+        channel = SimulatedChannel()
+        channel.charge_lost(feed.feed_size())
+        channel.reset()
+        assert channel.lost_bytes == 0
+        assert channel.lost_messages == 0
+
+    def test_closed_channel_rejects_lost_charge(self):
+        channel = SimulatedChannel()
+        channel.close()
+        with pytest.raises(TransportError):
+            channel.charge_lost(100)

@@ -1,0 +1,130 @@
+"""The exchange journal: acknowledgements survive a process death."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.program.journal import ExchangeJournal, write_key
+
+
+class TestExchangeJournal:
+    def test_in_memory_defaults(self):
+        journal = ExchangeJournal()
+        assert journal.begin_run() == 0
+        assert journal.resume_count == 0
+        assert journal.acked_through("0:F") == -1
+        assert not journal.write_done("0:F")
+
+    def test_batch_high_water(self):
+        journal = ExchangeJournal()
+        journal.ack_batch("0:F", 0)
+        journal.ack_batch("0:F", 2)
+        journal.ack_batch("0:F", 1)  # late duplicate ack
+        assert journal.acked_through("0:F") == 2
+        assert journal.acked_through("1:G") == -1
+
+    def test_write_acknowledgement(self):
+        journal = ExchangeJournal()
+        journal.ack_write("3:F")
+        assert journal.write_done("3:F")
+        assert not journal.write_done("4:G")
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with ExchangeJournal(path) as journal:
+            assert journal.begin_run() == 0
+            journal.ack_batch("0:F", 0)
+            journal.ack_batch("0:F", 1)
+            journal.ack_write("1:G")
+        # A fresh process reads the same state back.
+        with ExchangeJournal(path) as resumed:
+            assert resumed.acked_through("0:F") == 1
+            assert resumed.write_done("1:G")
+            assert resumed.begin_run() == 1
+            assert resumed.resume_count == 1
+        with ExchangeJournal(path) as third:
+            assert third.begin_run() == 2
+
+    def test_records_are_json_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with ExchangeJournal(path) as journal:
+            journal.begin_run()
+            journal.ack_batch("0:F", 7)
+            journal.ack_write("0:F")
+        events = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert [event["event"] for event in events] \
+            == ["run", "batch", "write"]
+        assert events[1]["seq"] == 7
+
+    def test_concurrent_acks(self, tmp_path):
+        journal = ExchangeJournal(tmp_path / "journal.jsonl")
+        threads = [
+            threading.Thread(
+                target=lambda base=base: [
+                    journal.ack_batch("0:F", base + i)
+                    for i in range(50)
+                ],
+            )
+            for base in (0, 50, 100)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert journal.acked_through("0:F") == 149
+        journal.close()
+
+    def test_write_key_is_stable(self):
+        assert write_key(4, "Order") == "4:Order"
+
+
+class TestJournalledExecutors:
+    """A journalled rerun skips acknowledged writes entirely."""
+
+    @pytest.fixture
+    def scenario(self, auction_mf, auction_lf, auction_document):
+        from repro.core.mapping import derive_mapping
+        from repro.core.optimizer.placement import (
+            source_heavy_placement,
+        )
+        from repro.core.program.builder import build_transfer_program
+        from repro.services.endpoint import RelationalEndpoint
+
+        source = RelationalEndpoint("S", auction_mf)
+        source.load_document(auction_document)
+        program = build_transfer_program(
+            derive_mapping(auction_mf, auction_lf)
+        )
+        return source, program, source_heavy_placement(program)
+
+    @pytest.mark.parametrize("batch_rows", [None, 5])
+    def test_second_run_ships_nothing(self, scenario, auction_lf,
+                                      batch_rows):
+        from repro.core.program.executor import ProgramExecutor
+        from repro.net.transport import SimulatedChannel
+        from repro.services.endpoint import RelationalEndpoint
+
+        source, program, placement = scenario
+        journal = ExchangeJournal()
+        target = RelationalEndpoint("T", auction_lf)
+        channel = SimulatedChannel()
+        first = ProgramExecutor(
+            source, target, channel, batch_rows=batch_rows,
+            journal=journal,
+        ).run(program, placement)
+        assert first.resume_count == 0
+        shipped_first = channel.messages
+        assert shipped_first > 0
+
+        channel.reset()
+        second = ProgramExecutor(
+            source, target, channel, batch_rows=batch_rows,
+            journal=journal,
+        ).run(program, placement)
+        assert second.resume_count == 1
+        assert channel.messages == 0
+        assert second.rows_written == 0

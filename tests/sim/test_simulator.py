@@ -153,3 +153,51 @@ class TestGreedyQuality:
 
         # Table 5: the optimization window is wider at 5/1 than 1/1.
         assert average_window(5.0, 1.0) > average_window(1.0, 1.0)
+
+
+class TestLossyCosts:
+    def test_fault_plan_inflates_both_pipelines(self, simulator,
+                                                fragmentations):
+        from repro.net.faults import FaultPlan
+
+        source_fragmentation, target_fragmentation = fragmentations
+        clean = simulator.exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"), order_limit=40,
+        )
+        plan = FaultPlan(drop=0.2, corrupt=0.05, duplicate=0.1)
+        lossy = simulator.exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"), order_limit=40,
+            fault_plan=plan, retry_attempts=4,
+        )
+        factor = plan.expected_transmission_factor(4)
+        assert factor > 1.0
+        assert lossy.exchange.communication == pytest.approx(
+            clean.exchange.communication * factor
+        )
+        assert lossy.publish.communication == pytest.approx(
+            clean.publish.communication * factor
+        )
+        # Compute costs are untouched: loss only burns the wire.
+        assert lossy.exchange.computation == pytest.approx(
+            clean.exchange.computation
+        )
+
+    def test_lossless_plan_changes_nothing(self, simulator,
+                                           fragmentations):
+        from repro.net.faults import FaultPlan
+
+        source_fragmentation, target_fragmentation = fragmentations
+        clean = simulator.exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"), order_limit=40,
+        )
+        delay_only = simulator.exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"), order_limit=40,
+            fault_plan=FaultPlan(delay=0.3), retry_attempts=4,
+        )
+        assert delay_only.exchange.communication == pytest.approx(
+            clean.exchange.communication
+        )

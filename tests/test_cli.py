@@ -100,3 +100,32 @@ class TestSimulateCommand:
     def test_bad_ratio_rejected(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--ratio", "fast"], io.StringIO())
+
+
+class TestLossyExchange:
+    def test_fault_plan_prints_robustness_summary(self):
+        output = run_cli(
+            "exchange", "MF", "LF", "--size", "2.5",
+            "--scale", "0.02", "--batch-rows", "32",
+            "--fault-plan", "drop=0.1,corrupt=0.05,seed=7",
+            "--retries", "6",
+        )
+        assert "lossy channel" in output
+        assert "drop=0.1" in output
+        assert "saving" in output  # the exchange still completes
+
+    def test_bad_fault_plan_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["exchange", "MF", "MF",
+                 "--fault-plan", "drop=2.0"],
+                io.StringIO(),
+            )
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["exchange", "MF", "MF",
+                 "--fault-plan", "drop=0.1", "--retries", "0"],
+                io.StringIO(),
+            )
