@@ -8,6 +8,8 @@ Usage::
     python -m repro exchange MF MF --batch-rows 64  # streaming dataplane
     python -m repro exchange MF LF --fault-plan drop=0.1,corrupt=0.05 \
         --retries 6                          # lossy channel, healed
+    python -m repro exchange MF MF --trace run.trace \
+        --trace-format chrome --metrics --drift  # observability
     python -m repro wsdl LF                  # the registration document
     python -m repro simulate --ratio 1/5     # a Table 5 configuration
 
@@ -32,6 +34,14 @@ from repro.core.program.builder import build_transfer_program
 from repro.core.program.render import summary, to_dot, to_text
 from repro.net.faults import FaultPlan, RetryPolicy
 from repro.net.transport import SimulatedChannel
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    cost_drift_report,
+    report_from_trace,
+    write_chrome_trace,
+    write_jsonl_trace,
+)
 from repro.reporting.tables import format_table
 from repro.schema.generator import balanced_schema
 from repro.services.agency import DiscoveryAgency
@@ -116,6 +126,17 @@ def cmd_wsdl(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _export_trace(tracer: Tracer, path: str, trace_format: str,
+                  out: TextIO) -> None:
+    """Write the recorded spans to ``path`` in the chosen format."""
+    with open(path, "w", encoding="utf-8") as stream:
+        if trace_format == "chrome":
+            count = write_chrome_trace(tracer, stream)
+        else:
+            count = write_jsonl_trace(tracer, stream)
+    print(f"trace: {count} spans -> {path} ({trace_format})", file=out)
+
+
 def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
     """Run DE vs publish&map on XMark data; ``--workers N`` executes
     the DE program phase on the N-way parallel executor."""
@@ -146,6 +167,8 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
                 f"--retries must be >= 1, got {attempts}"
             )
         retry_policy = RetryPolicy(max_attempts=attempts)
+    tracer = Tracer() if (args.trace or args.drift) else None
+    metrics = MetricsRegistry() if args.metrics else None
     source_frag, target_frag = _resolve_pair(args.source, args.target)
     document = generate_xmark_document(
         scaled_bytes(args.size, scale=args.scale), seed=args.seed
@@ -164,6 +187,8 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         batch_rows=args.batch_rows,
         retry_policy=retry_policy,
         fault_plan=fault_plan,
+        tracer=tracer,
+        metrics=metrics,
     )
     pm_target = RelationalEndpoint("pm-target", target_frag)
     pm = run_publish_and_map(
@@ -171,6 +196,7 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         f"{args.source}->{args.target}",
         retry_policy=retry_policy,
         fault_plan=fault_plan,
+        tracer=tracer,
     )
     rows = [
         [outcome.method] + [
@@ -212,6 +238,16 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
             f"PM {pm.faults_injected} faults, {pm.retries} retries",
             file=out,
         )
+    if args.trace:
+        _export_trace(tracer, args.trace, args.trace_format, out)
+    if args.metrics:
+        print(metrics.render(), file=out)
+    if args.drift:
+        probe = CostModel(StatisticsCatalog.synthetic(source_frag.schema))
+        trace_report = report_from_trace(program, tracer)
+        print(cost_drift_report(
+            program, placement, trace_report, probe
+        ).render(), file=out)
     return 0
 
 
@@ -225,7 +261,8 @@ def cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
             f"--ratio must look like 5/1, got {args.ratio!r}"
         ) from exc
     schema = balanced_schema(2, 5, seed=3)
-    simulator = ExchangeSimulator(schema)
+    tracer = Tracer() if args.trace else None
+    simulator = ExchangeSimulator(schema, tracer=tracer)
     rng = random.Random(args.seed)
     trials = [
         simulator.greedy_quality_trial(
@@ -251,6 +288,8 @@ def cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
         title=f"speed ratio {args.ratio}, {args.trials} trials "
               "(compare Table 5)",
     ), file=out)
+    if args.trace:
+        _export_trace(tracer, args.trace, args.trace_format, out)
     return 0
 
 
@@ -313,6 +352,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the DE program phase in row batches of this size "
              "(bounded memory; default: materialized instances)",
     )
+    exchange.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a structured trace of both runs to FILE "
+             "(tracing is off — zero overhead — without this flag)",
+    )
+    exchange.add_argument(
+        "--trace-format", default="jsonl",
+        choices=("jsonl", "chrome"),
+        help="trace file format: one JSON span per line, or Chrome "
+             "trace-event JSON (load in chrome://tracing / Perfetto)",
+    )
+    exchange.add_argument(
+        "--metrics", action="store_true",
+        help="collect and print the metrics registry "
+             "(op/ship counters and latency histograms)",
+    )
+    exchange.add_argument(
+        "--drift", action="store_true",
+        help="print the cost-drift report: the optimizer's predicted "
+             "comp/comm costs vs the measured seconds, per op and "
+             "per cross-edge (implies tracing internally)",
+    )
     exchange.set_defaults(handler=cmd_exchange)
 
     simulate = commands.add_parser(
@@ -324,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--fragments", type=int, default=11)
     simulate.add_argument("--order-limit", type=int, default=60)
     simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument("--trace", default=None, metavar="FILE",
+                          help="record the optimizer-phase trace")
+    simulate.add_argument("--trace-format", default="jsonl",
+                          choices=("jsonl", "chrome"))
     simulate.set_defaults(handler=cmd_simulate)
     return parser
 

@@ -18,6 +18,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.cost.estimates import StatisticsCatalog
 from repro.core.cost.model import (
@@ -28,7 +29,7 @@ from repro.core.cost.model import (
 )
 from repro.core.ops.base import Operation
 from repro.core.program.dag import TransferProgram
-from repro.core.program.executor import ExecutionReport
+from repro.core.program.executor import ExecutionReport, OperationTiming
 
 _KINDS = ("scan", "combine", "split", "write")
 
@@ -87,10 +88,6 @@ def calibrate(program: TransferProgram, report: ExecutionReport,
               statistics: StatisticsCatalog) -> Calibration:
     """Fit per-kind scales from one executed program.
 
-    For each kind, the least-squares solution of
-    ``seconds ≈ scale · work`` over its operations is
-    ``Σ(work·seconds) / Σ(work²)``.
-
     Raises:
         ValueError: if the report does not match the program.
     """
@@ -100,10 +97,53 @@ def calibrate(program: TransferProgram, report: ExecutionReport,
             "report does not match the program (operation counts "
             f"differ: {len(ordered)} vs {len(report.op_timings)})"
         )
+    return calibrate_timings(program, report.op_timings, statistics)
+
+
+def calibrate_timings(program: TransferProgram,
+                      timings: "Iterable[OperationTiming]",
+                      statistics: StatisticsCatalog) -> Calibration:
+    """Fit per-kind scales from measured per-operation timings.
+
+    For each kind, the least-squares solution of
+    ``seconds ≈ scale · work`` over its operations is
+    ``Σ(work·seconds) / Σ(work²)``.
+
+    Timings are matched to program nodes by ``op_id``; timings that
+    carry no id (``op_id == -1``, e.g. hand-built reports) are paired
+    with the unmatched nodes in topological order instead.  Execution
+    reports and recorded traces (see
+    :func:`repro.obs.drift.calibration_from_trace`) both feed this.
+
+    Raises:
+        ValueError: if a timing references an op the program lacks.
+    """
+    ordered = program.topological_order()
+    nodes_by_id = {node.op_id: node for node in ordered}
+    matched: list[tuple[Operation, "OperationTiming"]] = []
+    positional: list["OperationTiming"] = []
+    claimed: set[int] = set()
+    for timing in timings:
+        if timing.op_id < 0:
+            positional.append(timing)
+            continue
+        node = nodes_by_id.get(timing.op_id)
+        if node is None:
+            raise ValueError(
+                f"timing for op {timing.op_id} ({timing.label!r}) "
+                "matches no operation of the program"
+            )
+        matched.append((node, timing))
+        claimed.add(timing.op_id)
+    unclaimed = [
+        node for node in ordered if node.op_id not in claimed
+    ]
+    matched.extend(zip(unclaimed, positional))
+
     numerator: dict[str, float] = {kind: 0.0 for kind in _KINDS}
     denominator: dict[str, float] = {kind: 0.0 for kind in _KINDS}
     samples: dict[str, int] = {kind: 0 for kind in _KINDS}
-    for node, timing in zip(ordered, report.op_timings):
+    for node, timing in matched:
         work = operation_work(node, statistics)
         if work <= 0:
             continue

@@ -35,6 +35,12 @@ from repro.core.ops.write import Write
 from repro.core.program.dag import Placement, TransferProgram
 from repro.core.program.journal import ExchangeJournal, write_key
 from repro.core.stream import FragmentStream, ResidencyMeter, RowBatch
+from repro.obs.metrics import (
+    MetricsRegistry,
+    observe_operation,
+    observe_shipment,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.faults import RetryPolicy
@@ -132,6 +138,11 @@ class ExecutionReport:
     deliveries it discarded, and ``resume_count`` earlier attempts
     recorded in the run's :class:`~repro.core.program.journal.
     ExchangeJournal` (0 when no journal, or on its first attempt).
+    ``retries_by_edge``/``redelivered_by_edge`` break those totals
+    down by producer port — counts are *summed* per edge as the
+    reliable links report them, so edges sharing one retry layer (and
+    repeated runs merging into one stats object) accumulate instead
+    of overwriting each other.
     """
 
     op_timings: list[OperationTiming] = field(default_factory=list)
@@ -161,6 +172,12 @@ class ExecutionReport:
     retries: int = 0
     redelivered_batches: int = 0
     resume_count: int = 0
+    retries_by_edge: dict[tuple[int, int], int] = field(
+        default_factory=dict
+    )
+    redelivered_by_edge: dict[tuple[int, int], int] = field(
+        default_factory=dict
+    )
 
     @property
     def source_seconds(self) -> float:
@@ -221,7 +238,9 @@ class ProgramExecutor:
                  channel: ShippingChannel | None = None,
                  batch_rows: int | None = None,
                  retry: "RetryPolicy | None" = None,
-                 journal: ExchangeJournal | None = None) -> None:
+                 journal: ExchangeJournal | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         if batch_rows is not None and batch_rows < 1:
             raise ValueError("batch_rows must be >= 1 or None")
         self.source = source
@@ -230,6 +249,8 @@ class ProgramExecutor:
         self.batch_rows = batch_rows
         self.retry = retry
         self.journal = journal
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
 
     def _endpoint(self, location: Location) -> DataEndpoint:
         return self.source if location is Location.SOURCE else self.target
@@ -254,9 +275,11 @@ class ProgramExecutor:
                 program, placement, self.source, self.target,
                 self.channel, self.batch_rows,
                 retry=self.retry, journal=self.journal,
+                tracer=self.tracer, metrics=self.metrics,
             ).execute_sequential()
 
         started = time.perf_counter()
+        tracer = self.tracer
         report = ExecutionReport()
         if self.journal is not None:
             report.resume_count = self.journal.begin_run()
@@ -266,7 +289,9 @@ class ProgramExecutor:
             from repro.net.faults import ReliableChannel, RobustnessStats
 
             stats = RobustnessStats()
-            channel = ReliableChannel(self.channel, self.retry, stats)
+            channel = ReliableChannel(
+                self.channel, self.retry, stats, tracer=tracer
+            )
         meter = ResidencyMeter()
         # In-flight values keyed by producer port, tagged with the
         # system currently holding them.
@@ -306,23 +331,47 @@ class ProgramExecutor:
                     ) from exc
                 consumed.add(key)
                 if holder is not location and not skip:
-                    shipment = channel.ship_fragment(instance)
+                    ship_started = time.perf_counter()
+                    if stats is not None:
+                        shipment = channel.ship_fragment(
+                            instance, edge=key
+                        )
+                    else:
+                        shipment = channel.ship_fragment(instance)
                     report.comm_bytes += shipment.bytes_sent
                     report.comm_seconds += shipment.seconds
                     report.shipments += 1
                     report.shipment_bytes[key] = shipment.bytes_sent
                     report.shipment_seconds[key] = shipment.seconds
+                    tracer.record(
+                        f"ship {edge.fragment.name}", "ship",
+                        start=ship_started, seconds=shipment.seconds,
+                        edge_op=key[0], edge_port=key[1],
+                        bytes=shipment.bytes_sent,
+                        fragment=edge.fragment.name,
+                    )
+                    observe_shipment(
+                        self.metrics, shipment.bytes_sent,
+                        shipment.seconds,
+                    )
                 inputs.append(instance)
             input_sizes = [
                 (instance.row_count(), instance.estimated_size())
                 for instance in inputs
             ]
+            op_started = time.perf_counter()
             if skip:
                 outputs, elapsed, rows = [], 0.0, 0
             else:
                 outputs, elapsed, rows = self._execute(
                     node, location, inputs
                 )
+                tracer.record(
+                    node.label(), "op", start=op_started,
+                    seconds=elapsed, op_id=node.op_id, kind=node.kind,
+                    location=location.name.lower(), rows=rows,
+                )
+                observe_operation(self.metrics, node.kind, elapsed, rows)
             for in_rows, in_bytes in input_sizes:
                 meter.release(in_rows, in_bytes)
             for output in outputs:
@@ -348,8 +397,7 @@ class ProgramExecutor:
         report.peak_resident_rows = meter.peak_rows
         report.peak_resident_bytes = meter.peak_bytes
         if stats is not None:
-            report.retries = stats.retries
-            report.redelivered_batches = stats.redelivered
+            apply_robustness(report, stats)
         report.wall_seconds = time.perf_counter() - started
         report.critical_path_seconds = critical_path_seconds(
             program, report
@@ -391,6 +439,27 @@ def execute_operation(node: Operation, endpoint: DataEndpoint,
         raise ProgramError(f"unknown operation kind {node.kind!r}")
     elapsed = time.perf_counter() - start
     return outputs, elapsed, rows
+
+
+def apply_robustness(report: ExecutionReport, stats) -> None:
+    """Fold a :class:`~repro.net.faults.RobustnessStats` into the
+    report.
+
+    Shared by all three executors.  Per-edge counters are *added* to
+    whatever the report already holds — when several reliable links
+    (or several runs merging into one stats object) touched the same
+    edge, their counts sum instead of the last writer winning.
+    """
+    report.retries += stats.retries
+    report.redelivered_batches += stats.redelivered
+    for edge, count in stats.retries_by_edge.items():
+        report.retries_by_edge[edge] = (
+            report.retries_by_edge.get(edge, 0) + count
+        )
+    for edge, count in stats.redelivered_by_edge.items():
+        report.redelivered_by_edge[edge] = (
+            report.redelivered_by_edge.get(edge, 0) + count
+        )
 
 
 def critical_path_seconds(program: TransferProgram,

@@ -50,11 +50,18 @@ from repro.core.program.executor import (
     OperationTiming,
     ShippingChannel,
     _ZeroCostChannel,
+    apply_robustness,
     critical_path_seconds,
     execute_operation,
 )
 from repro.core.program.journal import ExchangeJournal, write_key
 from repro.core.stream import ResidencyMeter
+from repro.obs.metrics import (
+    MetricsRegistry,
+    observe_operation,
+    observe_shipment,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.faults import RetryPolicy
@@ -75,7 +82,9 @@ class ParallelProgramExecutor:
                  workers: int = 4,
                  batch_rows: int | None = None,
                  retry: "RetryPolicy | None" = None,
-                 journal: ExchangeJournal | None = None) -> None:
+                 journal: ExchangeJournal | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if batch_rows is not None and batch_rows < 1:
@@ -87,6 +96,8 @@ class ParallelProgramExecutor:
         self.batch_rows = batch_rows
         self.retry = retry
         self.journal = journal
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
 
     def run(self, program: TransferProgram,
             placement: Placement | None = None) -> ExecutionReport:
@@ -110,11 +121,13 @@ class ParallelProgramExecutor:
                 program, placement, self.source, self.target,
                 self.channel, self.batch_rows,
                 retry=self.retry, journal=self.journal,
+                tracer=self.tracer, metrics=self.metrics,
             ).execute_parallel(self.workers)
         run = _ScheduledRun(
             program, placement, self.source, self.target,
             self.channel, self.workers,
             retry=self.retry, journal=self.journal,
+            tracer=self.tracer, metrics=self.metrics,
         )
         return run.execute()
 
@@ -126,7 +139,9 @@ class _ScheduledRun:
                  source: DataEndpoint, target: DataEndpoint,
                  channel: ShippingChannel, workers: int,
                  retry: "RetryPolicy | None" = None,
-                 journal: ExchangeJournal | None = None) -> None:
+                 journal: ExchangeJournal | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.program = program
         self.placement = placement
         self.source = source
@@ -134,12 +149,20 @@ class _ScheduledRun:
         self.channel = channel
         self.workers = workers
         self.journal = journal
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
+        self._inflight = (
+            metrics.gauge("parallel.inflight")
+            if metrics is not None else None
+        )
         self._rstats = None
         if retry is not None:
             from repro.net.faults import ReliableChannel, RobustnessStats
 
             self._rstats = RobustnessStats()
-            self.channel = ReliableChannel(channel, retry, self._rstats)
+            self.channel = ReliableChannel(
+                channel, retry, self._rstats, tracer=self.tracer
+            )
         self.report = ExecutionReport()
         self.meter = ResidencyMeter()
         # Scheduling state, guarded by _lock.
@@ -175,7 +198,7 @@ class _ScheduledRun:
                 if self._missing[node.op_id] == 0
             ]
             for node in seeded:
-                compute.submit(self._run_node, node)
+                self._submit_compute(node)
             self._done.wait()
         if self._failure is not None:
             raise self._failure
@@ -188,8 +211,7 @@ class _ScheduledRun:
         self.report.peak_resident_rows = self.meter.peak_rows
         self.report.peak_resident_bytes = self.meter.peak_bytes
         if self._rstats is not None:
-            self.report.retries = self._rstats.retries
-            self.report.redelivered_batches = self._rstats.redelivered
+            apply_robustness(self.report, self._rstats)
         self.report.wall_seconds = time.perf_counter() - started
         self.report.critical_path_seconds = critical_path_seconds(
             self.program, self.report
@@ -201,6 +223,15 @@ class _ScheduledRun:
             if self._failure is None:
                 self._failure = exc
         self._done.set()
+
+    def _submit_compute(self, node: Operation) -> None:
+        """Queue ``node`` on the compute pool, tracking queue depth:
+        the ``parallel.inflight`` gauge rises here and falls when the
+        node's task finishes, so its peak is the deepest the ready
+        queue ever got."""
+        if self._inflight is not None:
+            self._inflight.add(1)
+        self._compute.submit(self._run_node, node)
 
     # -- tasks -------------------------------------------------------------------
 
@@ -216,6 +247,13 @@ class _ScheduledRun:
         )
 
     def _run_node(self, node: Operation) -> None:
+        try:
+            self._run_node_inner(node)
+        finally:
+            if self._inflight is not None:
+                self._inflight.add(-1)
+
+    def _run_node_inner(self, node: Operation) -> None:
         if self._failure is not None:
             self._done.set()
             return
@@ -235,12 +273,19 @@ class _ScheduledRun:
                 for instance in inputs
             ]
             skip = self._write_done(node)
+            op_started = time.perf_counter()
             if skip:
                 outputs, elapsed, rows = [], 0.0, 0
             else:
                 outputs, elapsed, rows = execute_operation(
                     node, endpoint, inputs
                 )
+                self.tracer.record(
+                    node.label(), "op", start=op_started,
+                    seconds=elapsed, op_id=node.op_id, kind=node.kind,
+                    location=location.name.lower(), rows=rows,
+                )
+                observe_operation(self.metrics, node.kind, elapsed, rows)
             for in_rows, in_bytes in input_sizes:
                 self.meter.release(in_rows, in_bytes)
             for output in outputs:
@@ -285,7 +330,21 @@ class _ScheduledRun:
         if self._failure is not None:
             return
         try:
-            shipment = self.channel.ship_fragment(instance)
+            ship_started = time.perf_counter()
+            if self._rstats is not None:
+                shipment = self.channel.ship_fragment(instance, edge=key)
+            else:
+                shipment = self.channel.ship_fragment(instance)
+            self.tracer.record(
+                f"ship {instance.fragment.name}", "ship",
+                start=ship_started, seconds=shipment.seconds,
+                edge_op=key[0], edge_port=key[1],
+                bytes=shipment.bytes_sent,
+                fragment=instance.fragment.name,
+            )
+            observe_shipment(
+                self.metrics, shipment.bytes_sent, shipment.seconds
+            )
             with self._lock:
                 self.report.comm_bytes += shipment.bytes_sent
                 self.report.comm_seconds += shipment.seconds
@@ -304,4 +363,4 @@ class _ScheduledRun:
             self._missing[consumer.op_id] -= 1
             ready = self._missing[consumer.op_id] == 0
         if ready:
-            self._compute.submit(self._run_node, consumer)
+            self._submit_compute(consumer)

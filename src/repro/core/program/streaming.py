@@ -46,6 +46,7 @@ from repro.core.program.executor import (
     ExecutionReport,
     OperationTiming,
     ShippingChannel,
+    apply_robustness,
     critical_path_seconds,
 )
 from repro.core.program.journal import ExchangeJournal, write_key
@@ -55,6 +56,12 @@ from repro.net.faults import (
     RetryPolicy,
     RobustnessStats,
 )
+from repro.obs.metrics import (
+    MetricsRegistry,
+    observe_operation,
+    observe_shipment,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 class _AbortedRun(RuntimeError):
@@ -133,7 +140,9 @@ class StreamingRun:
                  source: DataEndpoint, target: DataEndpoint,
                  channel: ShippingChannel, batch_rows: int,
                  retry: RetryPolicy | None = None,
-                 journal: ExchangeJournal | None = None) -> None:
+                 journal: ExchangeJournal | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.program = program
         self.placement = placement
         self.source = source
@@ -142,6 +151,8 @@ class StreamingRun:
         self.batch_rows = batch_rows
         self.retry = retry
         self.journal = journal
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
         self._rstats = RobustnessStats()
         self.report = ExecutionReport(batch_rows=batch_rows)
         self.meter = ResidencyMeter()
@@ -213,10 +224,21 @@ class StreamingRun:
             report.comp_seconds[location] += stats.seconds
             if node.kind == "write":
                 report.rows_written += stats.rows
+            # Streaming work is interleaved batch by batch, so a
+            # node's span is the per-node aggregate, anchored at run
+            # start (see docs/observability.md).
+            self.tracer.record(
+                node.label(), "op", start=started,
+                seconds=stats.seconds, op_id=node.op_id,
+                kind=node.kind, location=location.name.lower(),
+                rows=stats.rows,
+            )
+            observe_operation(
+                self.metrics, node.kind, stats.seconds, stats.rows
+            )
         report.peak_resident_rows = self.meter.peak_rows
         report.peak_resident_bytes = self.meter.peak_bytes
-        report.retries = self._rstats.retries
-        report.redelivered_batches = self._rstats.redelivered
+        apply_robustness(report, self._rstats)
         report.wall_seconds = time.perf_counter() - started
         report.critical_path_seconds = critical_path_seconds(
             self.program, report
@@ -345,16 +367,28 @@ class StreamingRun:
         if self.retry is not None:
             link = ReliableBatchLink(
                 self.channel, self.retry, self._rstats, edge=key,
-                start_seq=skip_through + 1,
+                start_seq=skip_through + 1, tracer=self.tracer,
             )
 
-        def account(shipment) -> None:
+        def account(shipment, batch: RowBatch,
+                    started: float) -> None:
             with self._lock:
                 report.comm_bytes += shipment.bytes_sent
                 report.comm_seconds += shipment.seconds
                 report.shipment_bytes[key] += shipment.bytes_sent
                 report.shipment_seconds[key] += shipment.seconds
                 report.shipment_batches[key] += 1
+            self.tracer.record(
+                f"batch {batch.seq} {batch.fragment.name}", "batch",
+                start=started, seconds=shipment.seconds,
+                edge_op=key[0], edge_port=key[1], seq=batch.seq,
+                bytes=shipment.bytes_sent,
+                fragment=batch.fragment.name,
+            )
+            observe_shipment(
+                self.metrics, shipment.bytes_sent, shipment.seconds,
+                batch=True,
+            )
 
         def generate() -> Iterator[RowBatch]:
             for batch in iterator:
@@ -364,13 +398,14 @@ class StreamingRun:
                     # write skips it too).
                     yield batch
                     continue
+                started = time.perf_counter()
                 if link is not None:
                     shipment, delivered = link.send(batch)
-                    account(shipment)
+                    account(shipment, batch, started)
                     yield from delivered
                 else:
                     shipment = self.channel.ship_batch(batch)
-                    account(shipment)
+                    account(shipment, batch, started)
                     yield batch
             if link is not None:
                 yield from link.finish()

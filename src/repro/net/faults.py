@@ -52,6 +52,7 @@ from repro.core.instance import FragmentInstance
 from repro.core.program.executor import Shipment
 from repro.core.stream import RowBatch
 from repro.net.soap import CHECKSUM_ATTR, unwrap_fragment_feed, wrap_fragment_feed
+from repro.obs.trace import NULL_TRACER, Tracer
 
 _T = TypeVar("_T")
 
@@ -288,25 +289,35 @@ class RetryPolicy:
         return shipment
 
     def run(self, send: Callable[[], _T], describe: str,
-            stats: "RobustnessStats | None" = None) -> _T:
+            stats: "RobustnessStats | _EdgeScopedStats | None" = None,
+            tracer: "Tracer | None" = None) -> _T:
         """Call ``send`` until it succeeds or attempts run out.
 
         Retryable failures are :class:`~repro.errors.TransportError`
         and :class:`~repro.errors.SoapFault` (drop, corruption,
-        timeout); anything else propagates immediately.
+        timeout); anything else propagates immediately.  Every failed
+        attempt records one ``retry`` span on ``tracer``.
 
         Raises:
             RetryExhausted: after ``max_attempts`` failures, carrying
                 the attempt count and the last cause.
         """
+        tracer = tracer or NULL_TRACER
         last: BaseException | None = None
         for attempt in range(1, self.max_attempts + 1):
+            attempt_started = time.perf_counter()
             try:
                 return send()
             except (TransportError, SoapFault) as exc:
                 if isinstance(exc, RetryExhausted):
                     raise
                 last = exc
+                tracer.record(
+                    f"retry {describe}", "retry",
+                    start=attempt_started,
+                    seconds=time.perf_counter() - attempt_started,
+                    attempt=attempt, error=type(exc).__name__,
+                )
                 if stats is not None and isinstance(exc, MessageTimeout):
                     stats.count_timeout()
                 if attempt == self.max_attempts:
@@ -325,30 +336,77 @@ class RetryPolicy:
 
 
 class RobustnessStats:
-    """Thread-safe counters of the reliable layer's healing work."""
+    """Thread-safe counters of the reliable layer's healing work.
 
-    __slots__ = ("_lock", "retries", "redelivered", "timeouts")
+    Besides the run-wide totals, retries and discarded duplicates are
+    broken down per edge (the producer-port key the executors use) in
+    ``retries_by_edge``/``redelivered_by_edge``.  Edge counts are
+    accumulated with ``+=`` under the lock — several links sharing one
+    stats object (the streaming executors arm one
+    :class:`ReliableBatchLink` per cross-edge over a single stats
+    instance) sum per edge rather than overwrite each other.
+    """
+
+    __slots__ = ("_lock", "retries", "redelivered", "timeouts",
+                 "retries_by_edge", "redelivered_by_edge")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.retries = 0
         self.redelivered = 0
         self.timeouts = 0
+        self.retries_by_edge: dict[object, int] = {}
+        self.redelivered_by_edge: dict[object, int] = {}
 
-    def count_retry(self) -> None:
-        """One re-send after a transport failure."""
+    def count_retry(self, edge: object = None) -> None:
+        """One re-send after a transport failure (on ``edge``)."""
         with self._lock:
             self.retries += 1
+            if edge is not None:
+                self.retries_by_edge[edge] = (
+                    self.retries_by_edge.get(edge, 0) + 1
+                )
 
-    def count_redelivered(self, copies: int = 1) -> None:
+    def count_redelivered(self, copies: int = 1,
+                          edge: object = None) -> None:
         """``copies`` duplicate deliveries discarded by seq dedup."""
         with self._lock:
             self.redelivered += copies
+            if edge is not None:
+                self.redelivered_by_edge[edge] = (
+                    self.redelivered_by_edge.get(edge, 0) + copies
+                )
 
     def count_timeout(self) -> None:
         """One delivery abandoned for exceeding the message timeout."""
         with self._lock:
             self.timeouts += 1
+
+    def scoped(self, edge: object) -> "_EdgeScopedStats":
+        """A view that attributes every count to ``edge``."""
+        return _EdgeScopedStats(self, edge)
+
+
+class _EdgeScopedStats:
+    """Forwards to a :class:`RobustnessStats`, binding one edge."""
+
+    __slots__ = ("_stats", "_edge")
+
+    def __init__(self, stats: RobustnessStats, edge: object) -> None:
+        self._stats = stats
+        self._edge = edge
+
+    def count_retry(self, edge: object = None) -> None:
+        self._stats.count_retry(edge if edge is not None else self._edge)
+
+    def count_redelivered(self, copies: int = 1,
+                          edge: object = None) -> None:
+        self._stats.count_redelivered(
+            copies, edge if edge is not None else self._edge
+        )
+
+    def count_timeout(self) -> None:
+        self._stats.count_timeout()
 
 
 @dataclass(slots=True)
@@ -405,10 +463,12 @@ class FaultyChannel:
     (``total_bytes``, ``reset``, …) reads through.
     """
 
-    def __init__(self, inner: object, plan: FaultPlan) -> None:
+    def __init__(self, inner: object, plan: FaultPlan,
+                 tracer: Tracer | None = None) -> None:
         self.inner = inner
         self.plan = plan
         self.stats = FaultStats()
+        self.tracer = tracer or NULL_TRACER
         self._lock = threading.Lock()
         self._index = 0
         self._held: dict[object, list[RowBatch]] = {}
@@ -422,7 +482,13 @@ class FaultyChannel:
         with self._lock:
             index = self._index
             self._index += 1
-        return index, self.plan.fault_for(index)
+        kind = self.plan.fault_for(index)
+        if kind is not None:
+            self.tracer.record(
+                f"fault:{kind.value}", "fault", seconds=0.0,
+                index=index,
+            )
+        return index, kind
 
     def _charge_lost(self, size_bytes: int) -> None:
         charge = getattr(self.inner, "charge_lost", None)
@@ -618,23 +684,30 @@ class ReliableChannel:
     """
 
     def __init__(self, channel: object, policy: RetryPolicy,
-                 stats: RobustnessStats | None = None) -> None:
+                 stats: RobustnessStats | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.channel = channel
         self.policy = policy
         self.stats = stats or RobustnessStats()
+        self.tracer = tracer or NULL_TRACER
 
     def __getattr__(self, name: str) -> object:
         return getattr(self.channel, name)
 
-    def _settle(self, shipment: Shipment,
-                delivered: list[object]) -> Shipment:
+    def _settle(self, shipment: Shipment, delivered: list[object],
+                edge: object = None) -> Shipment:
         self.policy.check_timeout(shipment)
         if len(delivered) > 1:
-            self.stats.count_redelivered(len(delivered) - 1)
+            self.stats.count_redelivered(len(delivered) - 1, edge)
         return shipment
 
-    def ship_fragment(self, instance: FragmentInstance) -> Shipment:
-        """Deliver a whole feed, retrying injected failures."""
+    def ship_fragment(self, instance: FragmentInstance,
+                      edge: object = None) -> Shipment:
+        """Deliver a whole feed, retrying injected failures.
+
+        ``edge`` (the executors' producer-port key) attributes the
+        healing work to that cross-edge in the stats breakdown.
+        """
         transmit = getattr(self.channel, "transmit_fragment", None)
 
         def send() -> Shipment:
@@ -643,14 +716,18 @@ class ReliableChannel:
             else:
                 shipment = self.channel.ship_fragment(instance)
                 delivered = [instance]
-            return self._settle(shipment, delivered)
+            return self._settle(shipment, delivered, edge)
 
+        stats = (
+            self.stats if edge is None else self.stats.scoped(edge)
+        )
         return self.policy.run(
             send, f"fragment feed {instance.fragment.name!r}",
-            self.stats,
+            stats, self.tracer,
         )
 
-    def ship_batch(self, batch: RowBatch) -> Shipment:
+    def ship_batch(self, batch: RowBatch,
+                   edge: object = None) -> Shipment:
         """Deliver one batch, retrying injected failures."""
         transmit = getattr(self.channel, "transmit_batch", None)
 
@@ -660,12 +737,15 @@ class ReliableChannel:
             else:
                 shipment = self.channel.ship_batch(batch)
                 delivered = [batch]
-            return self._settle(shipment, delivered)
+            return self._settle(shipment, delivered, edge)
 
+        stats = (
+            self.stats if edge is None else self.stats.scoped(edge)
+        )
         return self.policy.run(
             send,
             f"batch {batch.seq} of fragment {batch.fragment.name!r}",
-            self.stats,
+            stats, self.tracer,
         )
 
     def ship_document(self, text: str) -> Shipment:
@@ -676,7 +756,9 @@ class ReliableChannel:
                 self.channel.ship_document(text)
             )
 
-        return self.policy.run(send, "published document", self.stats)
+        return self.policy.run(
+            send, "published document", self.stats, self.tracer
+        )
 
 
 class ReliableBatchLink:
@@ -693,11 +775,13 @@ class ReliableBatchLink:
 
     def __init__(self, channel: object, policy: RetryPolicy | None,
                  stats: RobustnessStats, edge: object,
-                 start_seq: int = 0) -> None:
+                 start_seq: int = 0,
+                 tracer: Tracer | None = None) -> None:
         self.channel = channel
         self.policy = policy
-        self.stats = stats
+        self.stats = stats.scoped(edge)
         self.edge = edge
+        self.tracer = tracer or NULL_TRACER
         self._transmit = getattr(channel, "transmit_batch", None)
         self._flush = getattr(channel, "flush_batches", None)
         self._expected = start_seq
@@ -740,7 +824,7 @@ class ReliableBatchLink:
                 attempt,
                 f"batch {batch.seq} of fragment "
                 f"{batch.fragment.name!r}",
-                self.stats,
+                self.stats, self.tracer,
             )
         else:
             shipment = attempt()

@@ -23,6 +23,7 @@ from repro.core.instance import FragmentInstance
 from repro.core.program.executor import Shipment
 from repro.core.stream import RowBatch
 from repro.net.soap import unwrap_fragment_feed, wrap_fragment_feed
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,10 +62,12 @@ class SimulatedChannel:
 
     def __init__(self, profile: NetworkProfile | None = None,
                  wire_format: bool = False,
-                 realtime: bool = False) -> None:
+                 realtime: bool = False,
+                 tracer: Tracer | None = None) -> None:
         self.profile = profile or NetworkProfile()
         self.wire_format = wire_format
         self.realtime = realtime
+        self.tracer = tracer or NULL_TRACER
         self.total_bytes = 0
         self.total_seconds = 0.0
         self.messages = 0
@@ -91,6 +94,7 @@ class SimulatedChannel:
     def _charge(self, size_bytes: int) -> Shipment:
         if self._closed:
             raise TransportError("channel is closed")
+        started = time.perf_counter()
         seconds = self.transfer_cost(size_bytes)
         with self._lock:
             self.total_bytes += size_bytes
@@ -98,6 +102,13 @@ class SimulatedChannel:
             self.messages += 1
         if self.realtime:
             time.sleep(seconds)
+        # Span duration is the *simulated* transfer time — in realtime
+        # mode that equals the wall time slept; otherwise the wire span
+        # shows what the link charged, not the bookkeeping overhead.
+        self.tracer.record(
+            "wire", "wire", start=started, seconds=seconds,
+            bytes=size_bytes,
+        )
         return Shipment(size_bytes, seconds)
 
     def charge_lost(self, size_bytes: int) -> Shipment:

@@ -1,0 +1,82 @@
+"""Observability for the exchange pipeline: tracing, metrics, drift.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — structured spans with monotonic clocks and
+  thread-safe collection, exported as JSON-lines or Chrome
+  ``chrome://tracing`` trace-event files.  :data:`~repro.obs.trace.
+  NULL_TRACER` is the documented no-op fast path: every producer calls
+  it unconditionally and pays one attribute lookup plus an early
+  return when tracing is off.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms replacing the ad-hoc accounting that used to
+  live in ``repro.reporting.timers`` and around the executors.
+* :mod:`repro.obs.drift` — joins a recorded trace (or an
+  :class:`~repro.core.program.executor.ExecutionReport`) against the
+  optimizer's predicted ``comp_cost``/``comm_cost`` and reports
+  per-op-kind drift ratios; also rebuilds calibration inputs from a
+  trace so :mod:`repro.core.cost.calibrate` can fit scales from real
+  runs instead of synthetic probes.
+
+``drift`` imports the core program machinery, which itself imports
+``repro.obs.trace``; the lazy ``__getattr__`` below keeps that cycle
+out of package import time.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_jsonl_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl_trace",
+    # lazily resolved from repro.obs.drift (import-cycle guard):
+    "DriftReport",
+    "EdgeDrift",
+    "OpDrift",
+    "calibration_from_trace",
+    "cost_drift_report",
+    "report_from_trace",
+]
+
+_DRIFT_NAMES = {
+    "DriftReport",
+    "EdgeDrift",
+    "OpDrift",
+    "calibration_from_trace",
+    "cost_drift_report",
+    "report_from_trace",
+}
+
+
+def __getattr__(name: str):
+    if name in _DRIFT_NAMES:
+        from repro.obs import drift
+
+        return getattr(drift, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,25 +1,12 @@
-"""A small wall-clock timer context manager."""
+"""Wall-clock timers — thin shim over :mod:`repro.obs.metrics`.
+
+The timing logic lives in :class:`repro.obs.metrics.Timer` (one
+implementation, shared with the metrics registry); this module keeps
+the historical import path ``repro.reporting.timers.Timer`` working.
+"""
 
 from __future__ import annotations
 
-import time
+from repro.obs.metrics import Timer
 
-
-class Timer:
-    """Measure a block's elapsed time::
-
-        with Timer() as timer:
-            work()
-        print(timer.seconds)
-    """
-
-    def __init__(self) -> None:
-        self.seconds = 0.0
-        self._started = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._started = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.seconds = time.perf_counter() - self._started
+__all__ = ["Timer"]

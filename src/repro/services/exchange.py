@@ -29,6 +29,8 @@ from repro.net.faults import (
     RobustnessStats,
 )
 from repro.net.transport import SimulatedChannel
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.relational.publisher import publish_document
 from repro.relational.shredder import shred_document
 from repro.services.endpoint import RelationalEndpoint
@@ -76,6 +78,10 @@ class ExchangeOutcome:
     redelivered_batches: int = 0
     resume_count: int = 0
     faults_injected: int = 0
+    #: Healing work attributed per cross-edge ``(producer op, port)``
+    #: — summed across attempts and executors, never overwritten.
+    retries_by_edge: dict = field(default_factory=dict)
+    redelivered_by_edge: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -111,6 +117,8 @@ def run_optimized_exchange(
     retry_policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     journal: ExchangeJournal | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ExchangeOutcome:
     """Run the optimized data exchange (Section 5.2 steps 1–5).
 
@@ -133,13 +141,14 @@ def run_optimized_exchange(
     """
     if parallel_workers < 1:
         raise ValueError("parallel_workers must be >= 1")
+    tracer = tracer or NULL_TRACER
     outcome = ExchangeOutcome(
         scenario, "DE", parallel_workers=parallel_workers,
         batch_rows=batch_rows,
     )
     channel.reset()
     wire = (
-        FaultyChannel(channel, fault_plan)
+        FaultyChannel(channel, fault_plan, tracer=tracer)
         if fault_plan is not None else channel
     )
     if parallel_workers > 1:
@@ -148,18 +157,24 @@ def run_optimized_exchange(
                 source, target, wire, workers=parallel_workers,
                 batch_rows=batch_rows,
                 retry=retry_policy, journal=journal,
+                tracer=tracer, metrics=metrics,
             )
     else:
         executor = ProgramExecutor(
             source, target, wire, batch_rows=batch_rows,
             retry=retry_policy, journal=journal,
+            tracer=tracer, metrics=metrics,
         )
-    report = executor.run(program, placement)
+    with tracer.span("execute program", "step", scenario=scenario,
+                     method="DE", workers=parallel_workers):
+        report = executor.run(program, placement)
     outcome.wall_seconds = report.wall_seconds
     outcome.peak_resident_rows = report.peak_resident_rows
     outcome.peak_resident_bytes = report.peak_resident_bytes
     outcome.retries = report.retries
     outcome.redelivered_batches = report.redelivered_batches
+    outcome.retries_by_edge = dict(report.retries_by_edge)
+    outcome.redelivered_by_edge = dict(report.redelivered_by_edge)
     outcome.resume_count = report.resume_count
     if isinstance(wire, FaultyChannel):
         outcome.faults_injected = wire.stats.injected
@@ -172,7 +187,10 @@ def run_optimized_exchange(
     outcome.steps["loading"] = load_seconds
     started = time.perf_counter()
     outcome.indexes_built = target.build_indexes()
-    outcome.steps["indexing"] = time.perf_counter() - started
+    indexing = time.perf_counter() - started
+    outcome.steps["indexing"] = indexing
+    tracer.record("indexing", "step", start=started, seconds=indexing,
+                  indexes=outcome.indexes_built)
     outcome.comm_bytes = channel.total_bytes
     outcome.rows_written = report.rows_written
     return outcome
@@ -185,6 +203,7 @@ def run_publish_and_map(
     scenario: str = "exchange",
     retry_policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    tracer: Tracer | None = None,
 ) -> ExchangeOutcome:
     """Run publish&map (Section 5.1 steps 1–6).
 
@@ -194,23 +213,29 @@ def run_publish_and_map(
     robustness asymmetry against DE's per-fragment (or per-batch)
     retries.
     """
+    tracer = tracer or NULL_TRACER
     outcome = ExchangeOutcome(scenario, "PM")
     channel.reset()
     wire = (
-        FaultyChannel(channel, fault_plan)
+        FaultyChannel(channel, fault_plan, tracer=tracer)
         if fault_plan is not None else channel
     )
     stats = RobustnessStats()
     shipper = (
-        ReliableChannel(wire, retry_policy, stats)
+        ReliableChannel(wire, retry_policy, stats, tracer=tracer)
         if retry_policy is not None else wire
     )
 
-    started = time.perf_counter()
-    report = publish_document(source.db, source.mapper)
-    outcome.steps["source_processing"] = time.perf_counter() - started
+    with tracer.span("publish", "step", scenario=scenario,
+                     method="PM"):
+        started = time.perf_counter()
+        report = publish_document(source.db, source.mapper)
+        outcome.steps["source_processing"] = \
+            time.perf_counter() - started
 
-    shipper.ship_document(report.document)
+    with tracer.span("ship document", "step",
+                     bytes=len(report.document)):
+        shipper.ship_document(report.document)
     # Totals rather than the receipt: failed attempts burned the wire
     # too, and PM pays them at whole-document size.
     outcome.steps["communication"] = channel.total_seconds
@@ -219,15 +244,18 @@ def run_publish_and_map(
     if isinstance(wire, FaultyChannel):
         outcome.faults_injected = wire.stats.injected
 
-    started = time.perf_counter()
-    shredded = shred_document(report.document, target.mapper)
-    outcome.steps["shredding"] = time.perf_counter() - started
+    with tracer.span("shred", "step"):
+        started = time.perf_counter()
+        shredded = shred_document(report.document, target.mapper)
+        outcome.steps["shredding"] = time.perf_counter() - started
 
-    started = time.perf_counter()
-    outcome.rows_written = shredded.load_into(target.db)
-    outcome.steps["loading"] = time.perf_counter() - started
+    with tracer.span("load", "step"):
+        started = time.perf_counter()
+        outcome.rows_written = shredded.load_into(target.db)
+        outcome.steps["loading"] = time.perf_counter() - started
 
-    started = time.perf_counter()
-    outcome.indexes_built = target.build_indexes()
-    outcome.steps["indexing"] = time.perf_counter() - started
+    with tracer.span("indexing", "step"):
+        started = time.perf_counter()
+        outcome.indexes_built = target.build_indexes()
+        outcome.steps["indexing"] = time.perf_counter() - started
     return outcome

@@ -39,6 +39,7 @@ from repro.core.optimizer.search import (
 )
 from repro.core.program.builder import build_transfer_program
 from repro.core.program.parallel import ParallelEstimate
+from repro.obs.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - keeps the sim layer net-free
     from repro.net.faults import FaultPlan
@@ -91,10 +92,12 @@ class ExchangeSimulator:
     def __init__(self, schema: SchemaTree,
                  statistics: StatisticsCatalog | None = None,
                  weights: CostWeights | None = None,
-                 bandwidth: float = 100.0) -> None:
+                 bandwidth: float = 100.0,
+                 tracer: Tracer | None = None) -> None:
         self.schema = schema
         self.statistics = statistics or StatisticsCatalog.synthetic(schema)
         self.weights = weights or CostWeights()
+        self.tracer = tracer or NULL_TRACER
         # A fast interconnect by default, as in Section 5.4.2 ("we
         # assumed a fast interconnect network, so computation cost was
         # the major factor").
@@ -196,10 +199,13 @@ class ExchangeSimulator:
         mapping = derive_mapping(
             source_fragmentation, target_fragmentation
         )
-        best = optimal_exchange(
-            mapping, model, self.weights, order_limit
-        )
-        exchange = model.breakdown(best.program, best.placement)
+        with self.tracer.span("optimize exchange", "sim",
+                              order_limit=order_limit or 0):
+            best = optimal_exchange(
+                mapping, model, self.weights, order_limit
+            )
+        with self.tracer.span("price exchange", "sim"):
+            exchange = model.breakdown(best.program, best.placement)
         for node in best.program.nodes:
             if isinstance(node, Write):
                 location = best.placement[node.op_id]
@@ -230,7 +236,10 @@ class ExchangeSimulator:
                 exchange.communication, exchange.computation
             )
             exchange.communication -= hidden
-        publish = self.publish_cost(source_fragmentation, source, target)
+        with self.tracer.span("price publish", "sim"):
+            publish = self.publish_cost(
+                source_fragmentation, source, target
+            )
         if fault_plan is not None:
             factor = fault_plan.expected_transmission_factor(
                 retry_attempts
@@ -258,9 +267,19 @@ class ExchangeSimulator:
         mapping = derive_mapping(
             source_fragmentation, target_fragmentation
         )
-        best = optimal_exchange(mapping, model, self.weights, order_limit)
-        worst = worst_exchange(mapping, model, self.weights, order_limit)
-        greedy = greedy_exchange(mapping, model, self.weights)
+        with self.tracer.span("optimal search", "sim",
+                              n_fragments=n_fragments):
+            best = optimal_exchange(
+                mapping, model, self.weights, order_limit
+            )
+        with self.tracer.span("worst search", "sim",
+                              n_fragments=n_fragments):
+            worst = worst_exchange(
+                mapping, model, self.weights, order_limit
+            )
+        with self.tracer.span("greedy search", "sim",
+                              n_fragments=n_fragments):
+            greedy = greedy_exchange(mapping, model, self.weights)
         # A capped enumeration can miss the greedy combine order; fold
         # the greedy program into both search frontiers so the ratios
         # are well defined (greedy/optimal >= 1 by construction).

@@ -388,3 +388,93 @@ class TestReliableBatchLink:
         link._buffer[100] = batches[0]
         with pytest.raises(TransportError, match="gap"):
             link.finish()
+
+
+class TestPerEdgeAttribution:
+    """Healing work is broken down per cross-edge and always summed —
+    several links (or repeated retries) on one edge accumulate rather
+    than overwrite each other."""
+
+    def test_scoped_stats_bind_the_edge(self):
+        stats = RobustnessStats()
+        scoped = stats.scoped(("a", 0))
+        scoped.count_retry()
+        scoped.count_retry()
+        scoped.count_redelivered(3)
+        assert stats.retries == 2
+        assert stats.retries_by_edge == {("a", 0): 2}
+        assert stats.redelivered_by_edge == {("a", 0): 3}
+
+    def test_edges_accumulate_independently(self):
+        stats = RobustnessStats()
+        stats.count_retry(edge=(1, 0))
+        stats.count_retry(edge=(2, 0))
+        stats.count_retry(edge=(1, 0))
+        assert stats.retries == 3
+        assert stats.retries_by_edge == {(1, 0): 2, (2, 0): 1}
+
+    def test_links_sharing_stats_sum_per_edge(self, batches):
+        """Two reliable links over the same stats object, each facing
+        one drop, must both show up in the per-edge breakdown."""
+        stats = RobustnessStats()
+        policy = RetryPolicy(max_attempts=4, sleep=lambda d: None)
+        for edge, drop_index in (("edge-a", 0), ("edge-b", 0)):
+            channel = FaultyChannel(
+                SimulatedChannel(), scripted(drop=drop_index)
+            )
+            link = ReliableBatchLink(channel, policy, stats, edge=edge)
+            for batch in batches:
+                link.send(batch)
+            link.finish()
+        assert stats.retries == 2
+        assert stats.retries_by_edge == {"edge-a": 1, "edge-b": 1}
+
+    def test_apply_robustness_sums_instead_of_overwriting(self):
+        from repro.core.program.executor import (
+            ExecutionReport,
+            apply_robustness,
+        )
+
+        report = ExecutionReport()
+        first = RobustnessStats()
+        first.count_retry(edge=(1, 0))
+        first.count_redelivered(2, edge=(1, 0))
+        second = RobustnessStats()
+        second.count_retry(edge=(1, 0))
+        second.count_retry(edge=(2, 0))
+        apply_robustness(report, first)
+        apply_robustness(report, second)
+        assert report.retries == 3
+        assert report.retries_by_edge == {(1, 0): 2, (2, 0): 1}
+        assert report.redelivered_by_edge == {(1, 0): 2}
+
+    def test_reliable_channel_edge_kwarg(self, feed):
+        stats = RobustnessStats()
+        channel = ReliableChannel(
+            FaultyChannel(SimulatedChannel(), scripted(drop=0)),
+            RetryPolicy(max_attempts=4, sleep=lambda d: None),
+            stats,
+        )
+        channel.ship_fragment(feed, edge=(7, 0))
+        assert stats.retries == 1
+        assert stats.retries_by_edge == {(7, 0): 1}
+
+    def test_retry_spans_are_recorded(self, feed):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        stats = RobustnessStats()
+        channel = ReliableChannel(
+            FaultyChannel(
+                SimulatedChannel(), scripted(drop=0), tracer=tracer
+            ),
+            RetryPolicy(max_attempts=4, sleep=lambda d: None),
+            stats, tracer=tracer,
+        )
+        channel.ship_fragment(feed, edge=(7, 0))
+        retries = tracer.spans_of("retry")
+        assert len(retries) == 1
+        assert retries[0].attrs["error"] == "MessageDropped"
+        faults = tracer.spans_of("fault")
+        assert len(faults) == 1
+        assert faults[0].name == "fault:drop"

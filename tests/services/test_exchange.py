@@ -174,3 +174,59 @@ class TestEquivalence:
         assert publish_document(
             target.db, target.mapper
         ).document == original
+
+
+class TestObservabilityWiring:
+    def test_traced_de_run_covers_all_phases(self, loaded_source,
+                                             auction_lf):
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        outcome, _ = de_outcome(
+            loaded_source, auction_lf, scenario="traced",
+            tracer=tracer, metrics=metrics,
+        )
+        assert outcome.total_seconds > 0
+        assert tracer.spans_of("op") and tracer.spans_of("ship")
+        steps = {span.name for span in tracer.spans_of("step")}
+        assert {"execute program", "indexing"} <= steps
+        assert metrics.counter("ship.messages").value > 0
+        assert metrics.histogram("op.scan.seconds").count > 0
+
+    def test_traced_pm_run_records_steps(self, loaded_source,
+                                         auction_lf):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        target = RelationalEndpoint("pm-traced", auction_lf)
+        run_publish_and_map(
+            loaded_source, target, SimulatedChannel(), tracer=tracer
+        )
+        steps = {span.name for span in tracer.spans_of("step")}
+        assert {"publish", "ship document", "shred", "load",
+                "indexing"} <= steps
+
+    def test_lossy_run_attributes_retries_per_edge(self,
+                                                   loaded_source,
+                                                   auction_lf):
+        from repro.net.faults import FaultPlan, RetryPolicy
+
+        outcome, _ = de_outcome(
+            loaded_source, auction_lf, scenario="lossy",
+            batch_rows=32,
+            fault_plan=FaultPlan(drop=0.25, seed=11),
+            retry_policy=RetryPolicy(
+                max_attempts=6, sleep=lambda d: None
+            ),
+        )
+        assert outcome.faults_injected > 0
+        assert outcome.retries > 0
+        # Per-edge counts are a partition of the run total.
+        assert sum(outcome.retries_by_edge.values()) == outcome.retries
+        assert sum(
+            outcome.redelivered_by_edge.values()
+        ) == outcome.redelivered_batches
+        assert all(
+            isinstance(edge, tuple) for edge in outcome.retries_by_edge
+        )

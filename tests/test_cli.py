@@ -129,3 +129,57 @@ class TestLossyExchange:
                  "--fault-plan", "drop=0.1", "--retries", "0"],
                 io.StringIO(),
             )
+
+
+class TestTraceFlags:
+    def test_jsonl_trace_written(self, tmp_path):
+        import json
+
+        path = tmp_path / "run.jsonl"
+        output = run_cli(
+            "exchange", "MF", "MF", "--size", "2.5",
+            "--trace", str(path),
+        )
+        assert f"-> {path}" in output
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        categories = {json.loads(line)["cat"] for line in lines}
+        assert {"op", "ship", "step"} <= categories
+
+    def test_chrome_trace_loads(self, tmp_path):
+        import json
+
+        path = tmp_path / "run.json"
+        run_cli(
+            "exchange", "MF", "MF", "--size", "2.5",
+            "--trace", str(path), "--trace-format", "chrome",
+        )
+        document = json.loads(path.read_text())
+        assert any(
+            event["ph"] == "X" for event in document["traceEvents"]
+        )
+
+    def test_metrics_table_printed(self):
+        output = run_cli(
+            "exchange", "MF", "MF", "--size", "2.5", "--metrics",
+        )
+        assert "op.scan.seconds" in output
+        assert "ship.messages" in output
+
+    def test_drift_report_printed(self):
+        output = run_cli(
+            "exchange", "MF", "MF", "--size", "2.5", "--drift",
+        )
+        assert "per-kind drift" in output
+        assert "comm" in output
+
+    def test_simulate_trace(self, tmp_path):
+        import json
+
+        path = tmp_path / "sim.jsonl"
+        run_cli(
+            "simulate", "--trials", "1", "--fragments", "5",
+            "--trace", str(path),
+        )
+        lines = path.read_text().strip().splitlines()
+        assert {json.loads(line)["cat"] for line in lines} == {"sim"}
