@@ -10,6 +10,8 @@ Usage::
         --retries 6                          # lossy channel, healed
     python -m repro exchange MF MF --trace run.trace \
         --trace-format chrome --metrics --drift  # observability
+    python -m repro exchange MF LF --plan-cache --sessions 4 \
+        # brokered concurrent sessions sharing one negotiated plan
     python -m repro wsdl LF                  # the registration document
     python -m repro simulate --ratio 1/5     # a Table 5 configuration
 
@@ -21,6 +23,7 @@ Section 5) and ``S``/``T``/``DOC`` (the Section 1.1 customer scenario;
 from __future__ import annotations
 
 import argparse
+import itertools
 import random
 import sys
 from typing import Sequence, TextIO
@@ -45,6 +48,7 @@ from repro.obs import (
 from repro.reporting.tables import format_table
 from repro.schema.generator import balanced_schema
 from repro.services.agency import DiscoveryAgency
+from repro.services.broker import ExchangeBroker, PlanCache
 from repro.services.endpoint import RelationalEndpoint
 from repro.services.exchange import (
     run_optimized_exchange,
@@ -139,7 +143,9 @@ def _export_trace(tracer: Tracer, path: str, trace_format: str,
 
 def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
     """Run DE vs publish&map on XMark data; ``--workers N`` executes
-    the DE program phase on the N-way parallel executor."""
+    the DE program phase on the N-way parallel executor; ``--sessions
+    N`` brokers N concurrent DE sessions (``--plan-cache`` memoizes
+    their negotiations so only the first pays the optimizer)."""
     if args.source.upper() not in _XMARK_KEYS \
             or args.target.upper() not in _XMARK_KEYS:
         raise SystemExit(
@@ -148,6 +154,10 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
     if args.workers < 1:
         raise SystemExit(
             f"--workers must be >= 1, got {args.workers}"
+        )
+    if args.sessions < 1:
+        raise SystemExit(
+            f"--sessions must be >= 1, got {args.sessions}"
         )
     if args.batch_rows is not None and args.batch_rows < 1:
         raise SystemExit(
@@ -175,21 +185,86 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
     )
     source = RelationalEndpoint("source", source_frag)
     source.load_document(document)
-    program = build_transfer_program(
-        derive_mapping(source_frag, target_frag)
-    )
-    placement = source_heavy_placement(program)
-    de_target = RelationalEndpoint("de-target", target_frag)
-    de = run_optimized_exchange(
-        program, placement, source, de_target, SimulatedChannel(),
-        f"{args.source}->{args.target}",
-        parallel_workers=args.workers,
-        batch_rows=args.batch_rows,
-        retry_policy=retry_policy,
-        fault_plan=fault_plan,
-        tracer=tracer,
-        metrics=metrics,
-    )
+    if args.sessions > 1 or args.plan_cache:
+        model = CostModel(
+            StatisticsCatalog.synthetic(source_frag.schema)
+        )
+        agency = DiscoveryAgency(source_frag.schema)
+        agency.register("source", source_frag, source)
+        agency.register("target", target_frag)
+        if args.plan_cache and metrics is None:
+            metrics = MetricsRegistry()
+        cache = PlanCache(metrics=metrics) if args.plan_cache else None
+        plan = agency.negotiate(
+            "source", "target", probe=model, plan_cache=cache,
+            plan_knobs={
+                "parallel_workers": args.workers,
+                "batch_rows": args.batch_rows,
+            },
+            metrics=metrics,
+        )
+        program, placement = plan.program, plan.placement
+        ids = itertools.count()
+        broker = ExchangeBroker(
+            agency,
+            plan_cache=cache,
+            max_workers=min(args.sessions, 4),
+            probe=model,
+            parallel_workers=args.workers,
+            batch_rows=args.batch_rows,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        with broker:
+            sessions = broker.run([
+                ("source", "target", lambda: RelationalEndpoint(
+                    f"de-target-{next(ids)}", target_frag
+                ))
+            ] * args.sessions)
+        de = sessions[0].outcome
+        de_target = sessions[0].target
+        print(format_table(
+            ["session", "cached", "negotiate", "exchange", "TOTAL"],
+            [
+                [session.session_id,
+                 "yes" if session.cached else "no",
+                 session.negotiation_seconds,
+                 session.outcome.total_seconds,
+                 session.total_seconds]
+                for session in sessions
+            ],
+            title=f"{args.sessions} brokered session(s), plan cache "
+                  f"{'on' if cache is not None else 'off'}",
+        ), file=out)
+        if cache is not None:
+            stats = cache.stats()
+            print(
+                f"plan cache: {stats['hits']} hits, "
+                f"{stats['misses']} misses, "
+                f"{stats['evictions']} evictions; optimizer ran "
+                f"{int(metrics.counter('optimizer.runs').value)} "
+                f"time(s) across "
+                f"{args.sessions + 1} negotiation(s)",
+                file=out,
+            )
+    else:
+        program = build_transfer_program(
+            derive_mapping(source_frag, target_frag)
+        )
+        placement = source_heavy_placement(program)
+        de_target = RelationalEndpoint("de-target", target_frag)
+        de = run_optimized_exchange(
+            program, placement, source, de_target, SimulatedChannel(),
+            f"{args.source}->{args.target}",
+            parallel_workers=args.workers,
+            batch_rows=args.batch_rows,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            tracer=tracer,
+            metrics=metrics,
+        )
     pm_target = RelationalEndpoint("pm-target", target_frag)
     pm = run_publish_and_map(
         source, pm_target, SimulatedChannel(),
@@ -351,6 +426,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-rows", type=int, default=None,
         help="stream the DE program phase in row batches of this size "
              "(bounded memory; default: materialized instances)",
+    )
+    exchange.add_argument(
+        "--sessions", type=int, default=1,
+        help="run this many concurrent DE sessions through the "
+             "exchange broker (each gets its own channel and target "
+             "store; default 1 = direct single exchange)",
+    )
+    exchange.add_argument(
+        "--plan-cache", action="store_true",
+        help="memoize the negotiated plan: the first session pays the "
+             "optimizer, later sessions reuse the cached program and "
+             "placement (implies the brokered path)",
     )
     exchange.add_argument(
         "--trace", default=None, metavar="FILE",

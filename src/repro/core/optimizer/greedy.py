@@ -23,6 +23,7 @@ from repro.core.ops.combine import Combine
 from repro.core.optimizer.placement import (
     assign,
     initial_placement,
+    resolve_weights,
     unassigned_nodes,
 )
 from repro.core.program.builder import MergeStep, ProgramBuilder
@@ -84,10 +85,31 @@ def _fix(program: TransferProgram, placement: Placement,
     raise PlacementError(f"no legal location for {node.label()}")
 
 
+def _weighted(weight: float, cost: float) -> float:
+    """``weight * cost`` with ``0 x inf == 0``: a zero formula-1 weight
+    mutes that term outright, never poisoning comparisons with NaN."""
+    if weight == 0.0:
+        return 0.0
+    return weight * cost
+
+
 def greedy_placement(program: TransferProgram, probe: CostProbe,
                      weights: CostWeights | None = None) -> Placement:
     """Greedy distributed processing (Section 4.3); returns a complete
-    legal placement."""
+    legal placement.
+
+    Costs are compared under the formula-1 weights (explicit argument,
+    else the probe's own, else 1/1 — the same resolution the exhaustive
+    search uses): the preference loop ranks operations by their
+    *weighted* computation-cost difference, and the tie-break cuts the
+    unassigned edge with the smallest *weighted* communication cost.
+    A zero ``computation`` weight therefore sends every operation to
+    the tie-break (pure communication minimization), mirroring how the
+    exhaustive search degenerates under the same weights.
+    """
+    weights = resolve_weights(probe, weights)
+    w_comp = weights.computation
+    w_com = weights.communication
     placement = initial_placement(program, pin_scans=True)
     while True:
         pending = unassigned_nodes(program, placement)
@@ -97,8 +119,12 @@ def greedy_placement(program: TransferProgram, probe: CostProbe,
         best_diff = 0.0
         best_location = Location.SOURCE
         for node in pending:
-            at_source = probe.comp_cost(node, Location.SOURCE)
-            at_target = probe.comp_cost(node, Location.TARGET)
+            at_source = _weighted(
+                w_comp, probe.comp_cost(node, Location.SOURCE)
+            )
+            at_target = _weighted(
+                w_comp, probe.comp_cost(node, Location.TARGET)
+            )
             if at_source == at_target:
                 continue  # no preference (also covers inf == inf)
             diff = abs(at_source - at_target)
@@ -123,7 +149,9 @@ def greedy_placement(program: TransferProgram, probe: CostProbe,
         if candidate_edges:
             edge = min(
                 candidate_edges,
-                key=lambda edge: probe.comm_cost(edge.fragment),
+                key=lambda edge: _weighted(
+                    w_com, probe.comm_cost(edge.fragment)
+                ),
             )
             scratch = dict(placement)
             if (assign(program, scratch, edge.producer, Location.SOURCE)

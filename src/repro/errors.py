@@ -116,3 +116,14 @@ class EndpointError(ReproError):
 
 class NegotiationError(ReproError):
     """Raised by the discovery agency when negotiation cannot proceed."""
+
+
+class BrokerError(ReproError):
+    """Raised by the exchange broker on misuse (closed broker, unknown
+    endpoints, invalid session requests)."""
+
+
+class BrokerSaturatedError(BrokerError):
+    """Raised by the broker's admission control when a session is
+    submitted beyond the pending budget (and the caller chose not to
+    wait for capacity)."""

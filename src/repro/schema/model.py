@@ -14,6 +14,7 @@ Figure 7 satisfy it.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -88,6 +89,7 @@ class SchemaTree:
         self._nodes: dict[str, SchemaNode] = {}
         self._parents: dict[str, str | None] = {}
         self._depths: dict[str, int] = {}
+        self._fingerprint: str | None = None
         self._index(root, None, 0)
 
     def _index(self, node: SchemaNode, parent: str | None,
@@ -132,6 +134,35 @@ class SchemaTree:
             node = stack.pop()
             yield node
             stack.extend(reversed(node.children))
+
+    def fingerprint(self) -> str:
+        """Canonical structural fingerprint of this tree.
+
+        Two independently parsed copies of the same schema document
+        (same element names, cardinalities, attribute lists and child
+        order) produce the same hex digest, so identity-independent
+        consumers — the discovery agency's registration check, the
+        negotiated-plan cache — can recognize an agreed schema without
+        sharing the Python object.
+        """
+        if self._fingerprint is None:
+            parts: list[str] = []
+            for node in self.iter_nodes():
+                parts.append(
+                    f"{node.name}{node.cardinality.value}"
+                    f"[{','.join(node.attributes)}]"
+                    f"({','.join(child.name for child in node.children)})"
+                )
+            digest = hashlib.sha256(
+                "\n".join(parts).encode("utf-8")
+            ).hexdigest()
+            self._fingerprint = digest
+        return self._fingerprint
+
+    def structurally_equal(self, other: "SchemaTree") -> bool:
+        """True when ``other`` describes the same schema, element for
+        element — identity not required (e.g. two parses of one DTD)."""
+        return self is other or self.fingerprint() == other.fingerprint()
 
     def parent_name(self, name: str) -> str | None:
         """Name of the parent element, or ``None`` for the root."""

@@ -10,11 +10,14 @@ structures — only fragmentations and the cost probe.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Mapping as MappingType
+
 from dataclasses import dataclass
 
 from repro.errors import NegotiationError
 from repro.core.cost.model import CostWeights
 from repro.core.cost.probe import CostProbe, EndpointProbe
+from repro.core.fragment import Fragment
 from repro.core.fragmentation import Fragmentation
 from repro.core.mapping import Mapping, derive_mapping
 from repro.core.optimizer.exhaustive import cost_based_optim
@@ -26,6 +29,7 @@ from repro.core.optimizer.search import (
 from repro.core.program.builder import build_transfer_program
 from repro.core.program.dag import Placement, TransferProgram
 from repro.net.transport import SimulatedChannel
+from repro.obs.metrics import MetricsRegistry
 from repro.schema.model import SchemaTree
 from repro.services.endpoint import SystemEndpoint
 from repro.wsdl.extension import (
@@ -33,6 +37,9 @@ from repro.wsdl.extension import (
     fragmentation_to_element,
 )
 from repro.wsdl.model import Definitions, Port, Service, serialize_wsdl
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.services.broker import PlanCache
 
 #: The optimizer strategies negotiate() accepts.
 OPTIMIZERS = ("greedy", "optimal", "canonical")
@@ -61,6 +68,9 @@ class ExchangePlan:
     estimated_cost: float
     optimizer: str
     optimizer_seconds: float
+    #: Whether the plan was served from a :class:`~repro.services.
+    #: broker.PlanCache` instead of a fresh optimization run.
+    cached: bool = False
 
     def annotate(self) -> TransferProgram:
         """Write the placement onto the program and return it."""
@@ -98,9 +108,24 @@ class DiscoveryAgency:
                 self.schema, f"{name}-default"
             )
         if fragmentation.schema is not self.schema:
-            raise NegotiationError(
-                f"fragmentation {fragmentation.name!r} is over a "
-                "different schema than this agency's"
+            # Remote systems re-parse the agreed schema document, so
+            # their fragmentations arrive over a structurally identical
+            # but distinct SchemaTree.  Accept those by canonical
+            # fingerprint and rebind onto this agency's tree (the rest
+            # of the pipeline relies on schema identity).
+            if not fragmentation.schema.structurally_equal(self.schema):
+                raise NegotiationError(
+                    f"fragmentation {fragmentation.name!r} is over a "
+                    "different schema than this agency's"
+                )
+            fragmentation = Fragmentation(
+                self.schema,
+                [
+                    Fragment(self.schema, fragment.elements,
+                             fragment.name)
+                    for fragment in fragmentation
+                ],
+                fragmentation.name,
             )
         wsdl = Definitions(
             name=f"{self.service_name}-{name}",
@@ -178,13 +203,26 @@ class DiscoveryAgency:
                   probe: CostProbe | None = None,
                   channel: SimulatedChannel | None = None,
                   weights: CostWeights | None = None,
-                  order_limit: int | None = None) -> ExchangePlan:
+                  order_limit: int | None = None,
+                  plan_cache: "PlanCache | None" = None,
+                  plan_knobs: MappingType[str, object] | None = None,
+                  metrics: MetricsRegistry | None = None
+                  ) -> ExchangePlan:
         """Produce an exchange plan between two registered systems.
 
         ``probe`` defaults to probing the two endpoints' cost
         interfaces through ``channel`` (both must then be present);
         pass an explicit probe (e.g. a CostModel) to negotiate without
         live endpoints.
+
+        With a ``plan_cache`` the negotiation is memoized: the setup is
+        fingerprinted (fragmentations, probe cost signature, optimizer,
+        weights, ``order_limit`` plus any extra ``plan_knobs``) and a
+        hit skips the optimizer entirely — the returned plan carries
+        ``cached=True`` and ``optimizer_seconds=0.0``.  ``metrics``
+        counts actual optimizer executions (``optimizer.runs`` and
+        ``optimizer.<kind>.runs``), which is how callers assert that a
+        warm cache really skipped optimization.
 
         Raises:
             NegotiationError: for unknown systems/optimizers or missing
@@ -202,6 +240,28 @@ class DiscoveryAgency:
         mapping = derive_mapping(
             source.fragmentation, target.fragmentation
         )
+        fingerprint = None
+        if plan_cache is not None:
+            knobs: dict[str, object] = {"order_limit": order_limit}
+            knobs.update(plan_knobs or {})
+            fingerprint = plan_cache.fingerprint(
+                source.fragmentation, target.fragmentation, probe,
+                optimizer, weights, knobs, mapping=mapping,
+            )
+            hit = plan_cache.load(fingerprint, self.schema)
+            if hit is not None:
+                program, placement, entry = hit
+                return ExchangePlan(
+                    source_name,
+                    target_name,
+                    mapping,
+                    program,
+                    placement,
+                    entry.estimated_cost,
+                    entry.optimizer,
+                    0.0,
+                    cached=True,
+                )
         if optimizer == "greedy":
             result = greedy_exchange(mapping, probe, weights)
         elif optimizer == "optimal":
@@ -212,6 +272,15 @@ class DiscoveryAgency:
             program = build_transfer_program(mapping)
             placement, cost = cost_based_optim(program, probe, weights)
             result = OptimizationResult(program, placement, cost, 1, 0.0)
+        if metrics is not None:
+            metrics.counter("optimizer.runs").add(1)
+            metrics.counter(f"optimizer.{optimizer}.runs").add(1)
+        if plan_cache is not None and fingerprint is not None:
+            plan_cache.put(
+                fingerprint, result.program, result.placement,
+                estimated_cost=result.cost, optimizer=optimizer,
+                optimizer_seconds=result.elapsed_seconds,
+            )
         return ExchangePlan(
             source_name,
             target_name,

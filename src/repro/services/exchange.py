@@ -119,6 +119,7 @@ def run_optimized_exchange(
     journal: ExchangeJournal | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    reset_channel: bool = True,
 ) -> ExchangeOutcome:
     """Run the optimized data exchange (Section 5.2 steps 1–5).
 
@@ -138,6 +139,15 @@ def run_optimized_exchange(
     faults`); ``retry_policy`` arms the reliable layer that heals the
     loss; ``journal`` arms checkpoint/resume.  Communication cost then
     includes the wasted transmissions — loss is charged, not hidden.
+
+    ``reset_channel=False`` leaves the channel's running totals alone
+    and attributes only this run's delta window to the outcome —
+    required when the channel is not exclusively this run's (resetting
+    a channel another exchange still accounts against would silently
+    zero *its* communication step).  Note the delta is only meaningful
+    while no other session charges the channel concurrently; truly
+    concurrent sessions must each get their own channel, which is what
+    :class:`~repro.services.broker.ExchangeBroker` does.
     """
     if parallel_workers < 1:
         raise ValueError("parallel_workers must be >= 1")
@@ -146,7 +156,10 @@ def run_optimized_exchange(
         scenario, "DE", parallel_workers=parallel_workers,
         batch_rows=batch_rows,
     )
-    channel.reset()
+    if reset_channel:
+        channel.reset()
+    comm_seconds_start = channel.total_seconds
+    comm_bytes_start = channel.total_bytes
     wire = (
         FaultyChannel(channel, fault_plan, tracer=tracer)
         if fault_plan is not None else channel
@@ -180,7 +193,9 @@ def run_optimized_exchange(
         outcome.faults_injected = wire.stats.injected
     load_seconds = report.seconds_for_kind("write")
     outcome.steps["source_processing"] = report.source_seconds
-    outcome.steps["communication"] = channel.total_seconds
+    outcome.steps["communication"] = (
+        channel.total_seconds - comm_seconds_start
+    )
     outcome.steps["target_processing"] = (
         report.target_seconds - load_seconds
     )
@@ -191,7 +206,7 @@ def run_optimized_exchange(
     outcome.steps["indexing"] = indexing
     tracer.record("indexing", "step", start=started, seconds=indexing,
                   indexes=outcome.indexes_built)
-    outcome.comm_bytes = channel.total_bytes
+    outcome.comm_bytes = channel.total_bytes - comm_bytes_start
     outcome.rows_written = report.rows_written
     return outcome
 

@@ -9,6 +9,7 @@ machine speeds, random fragmentations) that the two-PC testbed cannot.
 
 from repro.sim.random_fragmentation import random_fragmentation
 from repro.sim.simulator import (
+    AmortizedPlanCosts,
     ExchangeSimulator,
     GreedyQualityTrial,
     SimulatedCosts,
@@ -19,4 +20,5 @@ __all__ = [
     "ExchangeSimulator",
     "SimulatedCosts",
     "GreedyQualityTrial",
+    "AmortizedPlanCosts",
 ]

@@ -8,7 +8,12 @@ for arbitrary machine-speed configurations:
   charted in Figures 10 and 11;
 * :meth:`ExchangeSimulator.greedy_quality_trial` — optimal vs greedy vs
   worst-case program costs plus optimizer runtimes, the material of
-  Table 5.
+  Table 5;
+* :meth:`ExchangeSimulator.repeated_exchange_costs` — what a stream of
+  identical exchanges costs when the negotiated plan is cached: only
+  the first exchange pays the optimizer, every later one reuses the
+  plan (the amortization argument behind the
+  :class:`~repro.services.broker.PlanCache`).
 """
 
 from __future__ import annotations
@@ -84,6 +89,34 @@ class GreedyQualityTrial:
     def greedy_over_optimal(self) -> float:
         """The greedy quality ratio (Table 5, column 3)."""
         return self.greedy_cost / self.optimal_cost
+
+
+@dataclass(slots=True)
+class AmortizedPlanCosts:
+    """Cost of ``n_exchanges`` identical exchanges, with and without a
+    negotiated-plan cache."""
+
+    n_exchanges: int
+    #: Estimated data cost of one exchange (formula-1 units).
+    per_exchange_cost: float
+    #: Wall seconds one optimizer run took (paid once when cached).
+    optimizer_seconds: float
+    #: Total cost without a plan cache: every exchange re-optimizes.
+    cold_total: float
+    #: Total cost with the cache: exchange 1 optimizes, the rest hit.
+    warm_total: float
+
+    @property
+    def savings(self) -> float:
+        """Absolute cost saved by the cache over the stream."""
+        return self.cold_total - self.warm_total
+
+    @property
+    def speedup(self) -> float:
+        """Cold total over warm total (>= 1; grows with the stream)."""
+        if self.warm_total == 0.0:
+            return 1.0
+        return self.cold_total / self.warm_total
 
 
 class ExchangeSimulator:
@@ -247,6 +280,50 @@ class ExchangeSimulator:
             exchange.communication *= factor
             publish.communication *= factor
         return SimulatedCosts(exchange, publish)
+
+    # -- plan-cache amortization ---------------------------------------------------
+
+    def repeated_exchange_costs(
+            self, source_fragmentation: Fragmentation,
+            target_fragmentation: Fragmentation,
+            source: MachineProfile, target: MachineProfile,
+            n_exchanges: int,
+            order_limit: int | None = 200) -> AmortizedPlanCosts:
+        """Price ``n_exchanges`` identical exchanges under plan caching.
+
+        Without a cache every exchange renegotiates, so each pays the
+        measured optimizer runtime on top of its data cost; with a
+        :class:`~repro.services.broker.PlanCache` only the first does
+        (cache hits deserialize a stored plan, whose cost is noise next
+        to an optimizer search).  The cost model's units are seconds
+        (work over machine speed, bytes over bandwidth), so optimizer
+        wall seconds add onto the estimated data cost directly.
+        """
+        if n_exchanges < 1:
+            raise ValueError(
+                f"n_exchanges must be >= 1, got {n_exchanges}"
+            )
+        model = self.model(source, target)
+        mapping = derive_mapping(
+            source_fragmentation, target_fragmentation
+        )
+        with self.tracer.span("optimize exchange", "sim",
+                              order_limit=order_limit or 0):
+            best = optimal_exchange(
+                mapping, model, self.weights, order_limit
+            )
+        with self.tracer.span("price exchange", "sim"):
+            per_exchange = model.breakdown(
+                best.program, best.placement
+            ).total
+        optimizer_seconds = best.elapsed_seconds
+        return AmortizedPlanCosts(
+            n_exchanges=n_exchanges,
+            per_exchange_cost=per_exchange,
+            optimizer_seconds=optimizer_seconds,
+            cold_total=n_exchanges * (per_exchange + optimizer_seconds),
+            warm_total=n_exchanges * per_exchange + optimizer_seconds,
+        )
 
     # -- Table 5 ------------------------------------------------------------------
 

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.core.cost.estimates import StatisticsCatalog
-from repro.core.cost.model import CostModel, MachineProfile
+from repro.core.cost.model import CostModel, CostWeights, MachineProfile
 from repro.core.mapping import derive_mapping
 from repro.core.ops.base import Location
 from repro.core.optimizer.exhaustive import cost_based_optim
@@ -106,6 +106,68 @@ class TestGreedyPlacement:
         )
         placement = greedy_placement(program, model)
         program.validate_placement(placement)
+
+
+class TestGreedyWeights:
+    """Regression: greedy_placement used to ignore its ``weights``
+    argument entirely — formula-1 weights must actually steer it."""
+
+    @pytest.fixture
+    def fast_target(self, customers_schema):
+        return CostModel(
+            StatisticsCatalog.synthetic(customers_schema),
+            target=MachineProfile("t", speed=50.0),
+            bandwidth=1e12,
+        )
+
+    @pytest.fixture
+    def program(self, customers_s, customers_t):
+        return build_transfer_program(
+            derive_mapping(customers_s, customers_t)
+        )
+
+    def test_zero_computation_weight_flips_placement(
+            self, program, fast_target):
+        # Default weights: the 50x-faster target pulls all processing
+        # over.  A zero computation weight mutes that preference, so
+        # every decision falls to the communication tie-break and the
+        # placement changes — impossible while weights were ignored.
+        default = greedy_placement(program, fast_target)
+        for node in program.nodes:
+            if node.kind in ("combine", "split"):
+                assert default[node.op_id] is Location.TARGET
+        skewed = greedy_placement(
+            program, fast_target,
+            CostWeights(computation=0.0, communication=1.0),
+        )
+        program.validate_placement(skewed)
+        assert skewed != default
+
+    def test_positive_scaling_is_invariant(self, program, fast_target):
+        # Multiplying both weights by the same positive factor scales
+        # every compared quantity equally: same argmax, same placement.
+        default = greedy_placement(program, fast_target)
+        scaled = greedy_placement(
+            program, fast_target,
+            CostWeights(computation=7.0, communication=7.0),
+        )
+        assert scaled == default
+
+    def test_probe_weights_inherited(self, customers_schema, program):
+        # No explicit argument: the probe's own weights apply (the
+        # resolution rule the exhaustive search uses).
+        weighted_model = CostModel(
+            StatisticsCatalog.synthetic(customers_schema),
+            target=MachineProfile("t", speed=50.0),
+            weights=CostWeights(computation=0.0, communication=1.0),
+            bandwidth=1e12,
+        )
+        inherited = greedy_placement(program, weighted_model)
+        explicit = greedy_placement(
+            program, weighted_model,
+            CostWeights(computation=0.0, communication=1.0),
+        )
+        assert inherited == explicit
 
 
 class TestGreedyOptimize:

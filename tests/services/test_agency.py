@@ -48,6 +48,30 @@ class TestRegistration:
         with pytest.raises(NegotiationError):
             agency.register("prov", other)
 
+    def test_structurally_identical_reparse_accepted(self):
+        # Remote systems re-parse the agreed schema document, so their
+        # fragmentations arrive over a distinct but structurally
+        # identical SchemaTree.  Registration used to reject these on
+        # an identity check; it must accept and rebind them.
+        from repro.workloads.customer import (
+            customer_schema,
+            s_fragmentation,
+            t_fragmentation,
+        )
+        ours = customer_schema()
+        theirs = customer_schema()
+        assert ours is not theirs
+        assert ours.structurally_equal(theirs)
+        agency = DiscoveryAgency(ours)
+        agency.register("sales", s_fragmentation(ours))
+        registration = agency.register("prov", t_fragmentation(theirs))
+        # Rebound onto the agency's tree so the rest of the pipeline
+        # (mapping derivation, program building) sees one schema.
+        assert registration.fragmentation.schema is ours
+        model = CostModel(StatisticsCatalog.synthetic(ours))
+        plan = agency.negotiate("sales", "prov", probe=model)
+        plan.program.validate_placement(plan.placement)
+
     def test_register_wsdl_round_trip(self, agency, auction_lf):
         # One agency serializes; another registers from the document.
         first = agency.register("a", auction_lf)

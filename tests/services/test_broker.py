@@ -1,0 +1,180 @@
+"""The multi-session exchange broker: concurrency, admission control,
+and serial equivalence."""
+
+import threading
+
+import pytest
+
+from repro.errors import BrokerError, BrokerSaturatedError
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel
+from repro.net.transport import SimulatedChannel
+from repro.obs.metrics import MetricsRegistry
+from repro.relational.publisher import publish_document
+from repro.services.agency import DiscoveryAgency
+from repro.services.broker import ExchangeBroker, PlanCache
+from repro.services.endpoint import RelationalEndpoint
+from repro.services.exchange import run_optimized_exchange
+
+
+@pytest.fixture
+def model(auction_schema):
+    return CostModel(StatisticsCatalog.synthetic(auction_schema))
+
+
+@pytest.fixture
+def loaded_agency(auction_schema, auction_mf, auction_lf,
+                  auction_document):
+    source = RelationalEndpoint("S", auction_mf)
+    source.load_document(auction_document)
+    agency = DiscoveryAgency(auction_schema)
+    agency.register("src", auction_mf, source)
+    agency.register("tgt", auction_lf)
+    return agency
+
+
+def _target_factory(fragmentation, collected):
+    lock = threading.Lock()
+
+    def make():
+        with lock:
+            endpoint = RelationalEndpoint(
+                f"T{len(collected)}", fragmentation
+            )
+            collected.append(endpoint)
+        return endpoint
+
+    return make
+
+
+class TestBrokerSessions:
+    def test_concurrent_sessions_match_serial(
+            self, loaded_agency, auction_lf, model):
+        # Serial reference run, no broker involved.
+        plan = loaded_agency.negotiate("src", "tgt", probe=model)
+        source = loaded_agency.registration("src").endpoint
+        reference_target = RelationalEndpoint("ref", auction_lf)
+        run_optimized_exchange(
+            plan.annotate(), plan.placement, source,
+            reference_target, SimulatedChannel(),
+        )
+        reference = publish_document(
+            reference_target.db, reference_target.mapper
+        ).document
+
+        targets = []
+        with ExchangeBroker(loaded_agency, plan_cache=PlanCache(),
+                            max_workers=4, probe=model) as broker:
+            sessions = broker.run(
+                [("src", "tgt",
+                  _target_factory(auction_lf, targets))] * 6
+            )
+        assert [s.session_id for s in sessions] == list(range(6))
+        assert len(targets) == 6
+        for target in targets:
+            document = publish_document(
+                target.db, target.mapper
+            ).document
+            assert document == reference
+
+    def test_warm_sessions_skip_optimizer(self, loaded_agency,
+                                          auction_lf, model):
+        metrics = MetricsRegistry()
+        cache = PlanCache(metrics=metrics)
+        with ExchangeBroker(loaded_agency, plan_cache=cache,
+                            max_workers=4, probe=model,
+                            metrics=metrics) as broker:
+            sessions = broker.run(
+                [("src", "tgt", _target_factory(auction_lf, []))] * 5
+            )
+        assert metrics.counter("optimizer.runs").value == 1
+        assert sum(1 for s in sessions if not s.cached) == 1
+        assert sum(1 for s in sessions if s.cached) == 4
+        for session in sessions:
+            if session.cached:
+                assert session.optimizer_seconds == 0.0
+        # Per-session channels: every session accounted its own wire.
+        assert all(
+            s.outcome.comm_bytes > 0 for s in sessions
+        )
+
+    def test_sessions_without_cache_all_optimize(
+            self, loaded_agency, auction_lf, model):
+        metrics = MetricsRegistry()
+        with ExchangeBroker(loaded_agency, max_workers=2, probe=model,
+                            metrics=metrics) as broker:
+            broker.run(
+                [("src", "tgt", _target_factory(auction_lf, []))] * 3
+            )
+        assert metrics.counter("optimizer.runs").value == 3
+
+    def test_run_beyond_pending_budget_completes(
+            self, loaded_agency, auction_lf, model):
+        # run() waits at the admission gate instead of rejecting.
+        with ExchangeBroker(loaded_agency, plan_cache=PlanCache(),
+                            max_workers=2, max_pending=2,
+                            probe=model) as broker:
+            sessions = broker.run(
+                [("src", "tgt", _target_factory(auction_lf, []))] * 6
+            )
+        assert len(sessions) == 6
+        assert broker.completed == 6
+
+
+class TestAdmissionControl:
+    def test_saturated_submit_rejected(self, loaded_agency, auction_lf,
+                                       model):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def blocking_factory():
+            entered.set()
+            release.wait(timeout=30)
+            return RelationalEndpoint("blocked", auction_lf)
+
+        metrics = MetricsRegistry()
+        broker = ExchangeBroker(loaded_agency, max_workers=1,
+                                max_pending=1, probe=model,
+                                metrics=metrics)
+        try:
+            future = broker.submit("src", "tgt", blocking_factory)
+            assert entered.wait(timeout=30)
+            with pytest.raises(BrokerSaturatedError):
+                broker.submit(
+                    "src", "tgt",
+                    lambda: RelationalEndpoint("x", auction_lf),
+                )
+            assert broker.rejected == 1
+            assert metrics.counter("broker.rejected").value == 1
+        finally:
+            release.set()
+            broker.close()
+        assert future.result().outcome.rows_written > 0
+        assert broker.admitted == 1
+        assert broker.completed == 1
+
+    def test_closed_broker_rejects_submissions(self, loaded_agency,
+                                               auction_lf, model):
+        broker = ExchangeBroker(loaded_agency, probe=model)
+        broker.close()
+        with pytest.raises(BrokerError, match="closed"):
+            broker.submit(
+                "src", "tgt",
+                lambda: RelationalEndpoint("x", auction_lf),
+            )
+
+    def test_endpointless_source_rejected(self, loaded_agency,
+                                          auction_lf, model):
+        # "tgt" registered without an endpoint: cannot act as source.
+        with ExchangeBroker(loaded_agency, probe=model) as broker:
+            with pytest.raises(BrokerError, match="endpoint"):
+                broker.submit(
+                    "tgt", "src",
+                    lambda: RelationalEndpoint("x", auction_lf),
+                )
+
+    def test_bad_configuration_rejected(self, loaded_agency, model):
+        with pytest.raises(ValueError, match="max_workers"):
+            ExchangeBroker(loaded_agency, max_workers=0, probe=model)
+        with pytest.raises(ValueError, match="max_pending"):
+            ExchangeBroker(loaded_agency, max_pending=0, probe=model)
