@@ -68,6 +68,7 @@ def test_streaming_sweep(benchmark, batch_rows, size_labels, sources,
         "shipment_batches": sum(
             report.shipment_batches.values()
         ) or report.shipments,
+        "rows_per_second": round(report.rows_written / wall, 1),
     }
     results.record(
         "ablation-streaming", row, "peak rows",
@@ -78,6 +79,8 @@ def test_streaming_sweep(benchmark, batch_rows, size_labels, sources,
     results.record("ablation-streaming", row, "peak KB",
                    round(report.peak_resident_bytes / 1000, 1))
     results.record("ablation-streaming", row, "wall s", round(wall, 3))
+    results.record("ablation-streaming", row, "rows/s",
+                   round(report.rows_written / wall, 1))
 
 
 def test_streaming_shape_and_trajectory_file(results):

@@ -6,6 +6,7 @@ Usage::
     python -m repro exchange MF LF --size 25 # run DE vs publish&map
     python -m repro exchange MF MF --workers 4   # parallel DE execution
     python -m repro exchange MF MF --batch-rows 64  # streaming dataplane
+    python -m repro exchange MF LF --columnar    # columnar dataplane
     python -m repro exchange MF LF --fault-plan drop=0.1,corrupt=0.05 \
         --retries 6                          # lossy channel, healed
     python -m repro exchange MF MF --trace run.trace \
@@ -35,6 +36,7 @@ from repro.core.mapping import derive_mapping
 from repro.core.optimizer.placement import source_heavy_placement
 from repro.core.program.builder import build_transfer_program
 from repro.core.program.render import summary, to_dot, to_text
+from repro.core.stream import DEFAULT_BATCH_ROWS
 from repro.net.faults import FaultPlan, RetryPolicy
 from repro.net.transport import SimulatedChannel
 from repro.obs import (
@@ -163,6 +165,10 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         raise SystemExit(
             f"--batch-rows must be >= 1, got {args.batch_rows}"
         )
+    if args.columnar and args.batch_rows is None:
+        # The columnar dataplane is a streaming dataplane; give it the
+        # standard batch size rather than refusing.
+        args.batch_rows = DEFAULT_BATCH_ROWS
     fault_plan = None
     if args.fault_plan:
         try:
@@ -200,6 +206,7 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
             plan_knobs={
                 "parallel_workers": args.workers,
                 "batch_rows": args.batch_rows,
+                "columnar": args.columnar,
             },
             metrics=metrics,
         )
@@ -212,6 +219,7 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
             probe=model,
             parallel_workers=args.workers,
             batch_rows=args.batch_rows,
+            columnar=args.columnar,
             retry_policy=retry_policy,
             fault_plan=fault_plan,
             metrics=metrics,
@@ -260,6 +268,7 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
             f"{args.source}->{args.target}",
             parallel_workers=args.workers,
             batch_rows=args.batch_rows,
+            columnar=args.columnar,
             retry_policy=retry_policy,
             fault_plan=fault_plan,
             tracer=tracer,
@@ -298,8 +307,9 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
             file=out,
         )
     if args.batch_rows is not None:
+        dataplane = "columnar" if args.columnar else "streaming"
         print(
-            f"streaming dataplane (batch_rows={args.batch_rows}): "
+            f"{dataplane} dataplane (batch_rows={args.batch_rows}): "
             f"peak {de.peak_resident_rows} resident rows "
             f"({de.peak_resident_bytes:,} bytes)",
             file=out,
@@ -426,6 +436,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-rows", type=int, default=None,
         help="stream the DE program phase in row batches of this size "
              "(bounded memory; default: materialized instances)",
+    )
+    exchange.add_argument(
+        "--columnar", action="store_true",
+        help="run the DE program phase on the columnar dataplane: "
+             "flat fragments stream as column batches and Combine "
+             "runs the build/probe join (implies --batch-rows "
+             f"{DEFAULT_BATCH_ROWS} when not set; written fragments "
+             "are byte-identical to the row path)",
     )
     exchange.add_argument(
         "--sessions", type=int, default=1,

@@ -1,0 +1,436 @@
+"""Columnar fragment batches: the vectorized dataplane.
+
+The row dataplane (:mod:`repro.core.stream`) moves one nested
+:class:`~repro.core.instance.ElementData` tree per fragment-root
+occurrence.  Building those trees at ``Scan`` and flattening them back
+at ``Write`` dominates CPU time on the Figure 9 scenarios — the data
+spends its whole journey tabular (it comes out of a relational sorted
+feed and goes back into a relational bulk load), and the trees exist
+only to satisfy the operator API.
+
+This module provides the flat alternative.  A :class:`ColumnBatch`
+holds one parallel array per column of the fragment's relational
+layout — ``id``, ``parent``, an ``<element>_eid`` key per non-root
+element, a text column per leaf, a column per XML attribute — in
+exactly the order :class:`~repro.relational.frag_store.
+FragmentRelationMapper` stores them, so a columnar scan is a slice of
+the raw sorted feed and a columnar write is a straight bulk load.
+``Combine`` becomes a build/probe join on the key columns,``Split`` a
+column projection; no trees are built anywhere in between.
+
+Invariant: column cells hold the values the *row* dataplane would
+store — text cells of present elements are strings (SQL ``NULL``
+normalizes to ``""``, mirroring the tree round-trip), cells of absent
+elements are ``None``.  That is what keeps the two dataplanes
+byte-identical in the target tables for every batch size.
+
+:meth:`ColumnBatch.estimated_size` / :meth:`~ColumnBatch.feed_size`
+are computed column-wise but agree exactly with the per-row formulas
+(:func:`~repro.core.instance.row_estimated_size` /
+:func:`~repro.core.instance.row_feed_size`), so the
+:class:`~repro.core.stream.ResidencyMeter` and the channel charge the
+same bytes on either dataplane.  Slicing is zero-copy: a slice shares
+the parent's column lists and narrows ``start``/``stop``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OperationError
+from repro.core.fragment import Fragment
+from repro.core.instance import ElementData, FragmentRow
+from repro.core.stream import RowBatch
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnSpec:
+    """How one column relates to the fragment's elements.
+
+    Roles: ``id`` (fragment-root key), ``parent`` (the PARENT
+    reference), ``eid`` (a non-root element's key), ``text`` (a leaf's
+    character content), ``attr`` (one declared XML attribute).
+    """
+
+    name: str
+    role: str  # "id" | "parent" | "eid" | "text" | "attr"
+    element: str | None = None
+    attribute: str | None = None
+
+
+class ColumnLayout:
+    """The column layout of one (flat-storable) fragment.
+
+    Column order is deterministic from the fragment alone — ``id``,
+    ``parent``, then per element in schema pre-order: its ``eid`` key
+    (non-root elements), its text (leaves), its attributes.  The
+    relational mapper derives its table layout from this same class,
+    so a source scan, every combine/split along the program, and the
+    target load all agree on positions without negotiation.
+
+    Raises:
+        OperationError: if the fragment has repeated inner elements —
+            such fragments do not flatten to one row per occurrence
+            and must use the row dataplane.
+    """
+
+    __slots__ = ("fragment", "specs", "positions")
+
+    def __init__(self, fragment: Fragment) -> None:
+        if not fragment.is_flat_storable():
+            raise OperationError(
+                f"fragment {fragment.name!r} has repeated inner "
+                "elements and no flat column layout (use the row "
+                "dataplane)"
+            )
+        self.fragment = fragment
+        specs: list[ColumnSpec] = [
+            ColumnSpec("id", "id", fragment.root_name),
+            ColumnSpec("parent", "parent"),
+        ]
+        schema = fragment.schema
+        for node in schema.iter_nodes():
+            element = node.name
+            if element not in fragment.elements:
+                continue
+            if element != fragment.root_name:
+                specs.append(
+                    ColumnSpec(f"{element.lower()}_eid", "eid", element)
+                )
+            if node.is_leaf:
+                specs.append(
+                    ColumnSpec(element.lower(), "text", element)
+                )
+            for attribute in node.attributes:
+                specs.append(
+                    ColumnSpec(
+                        f"{element.lower()}_{attribute.lower()}",
+                        "attr", element, attribute,
+                    )
+                )
+        self.specs = specs
+        self.positions = {
+            spec.name: index for index, spec in enumerate(specs)
+        }
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def eid_column(self, element: str) -> str:
+        """Name of the column keying ``element``'s occurrences."""
+        if element == self.fragment.root_name:
+            return "id"
+        return f"{element.lower()}_eid"
+
+    # -- row <-> cells --------------------------------------------------------
+
+    def cells_from_row(self, row: FragmentRow) -> list[object]:
+        """Flatten one row's tree into this layout's cells."""
+        found: dict[str, ElementData] = {}
+        elements = self.fragment.elements
+
+        def collect(node: ElementData) -> None:
+            found[node.name] = node
+            for child_name, group in node.children.items():
+                if child_name in elements:
+                    for child in group:
+                        collect(child)
+
+        collect(row.data)
+        cells: list[object] = []
+        for spec in self.specs:
+            if spec.role == "id":
+                cells.append(row.data.eid)
+            elif spec.role == "parent":
+                cells.append(row.parent)
+            else:
+                node = found.get(spec.element or "")
+                if node is None:
+                    cells.append(None)
+                elif spec.role == "eid":
+                    cells.append(node.eid)
+                elif spec.role == "text":
+                    cells.append(node.text)
+                else:
+                    cells.append(node.attrs.get(spec.attribute or ""))
+        return cells
+
+    def row_from_cells(self, cells: "list[object] | tuple") -> FragmentRow:
+        """Rebuild the nested occurrence from one row of cells."""
+        positions = self.positions
+        fragment = self.fragment
+
+        def build(element: str) -> ElementData | None:
+            eid = cells[positions[self.eid_column(element)]]
+            if eid is None:
+                return None
+            attrs: dict[str, str] = {}
+            text = ""
+            node_specs = _element_specs(self, element)
+            for spec in node_specs:
+                value = cells[positions[spec.name]]
+                if value is None:
+                    continue
+                if spec.role == "text":
+                    text = str(value)
+                elif spec.role == "attr":
+                    attrs[spec.attribute or ""] = str(value)
+            data = ElementData(element, int(eid), attrs, text)
+            for child in fragment.children_of(element):
+                built = build(child.name)
+                if built is not None:
+                    data.add_child(built)
+            return data
+
+        root = build(fragment.root_name)
+        if root is None:
+            raise OperationError(
+                f"columnar row of {fragment.name!r} has NULL id"
+            )
+        parent = cells[positions["parent"]]
+        return FragmentRow(root, None if parent is None else int(parent))
+
+
+def _element_specs(layout: ColumnLayout,
+                   element: str) -> list[ColumnSpec]:
+    """Text/attr specs belonging to ``element`` (layout order)."""
+    return [
+        spec for spec in layout.specs
+        if spec.element == element and spec.role in ("text", "attr")
+    ]
+
+
+#: Shared layout cache — layouts are pure functions of the fragment.
+_LAYOUTS: dict[Fragment, ColumnLayout] = {}
+
+
+def layout_of(fragment: Fragment) -> ColumnLayout:
+    """The (cached) column layout of ``fragment``."""
+    layout = _LAYOUTS.get(fragment)
+    if layout is None:
+        layout = _LAYOUTS[fragment] = ColumnLayout(fragment)
+    return layout
+
+
+class ColumnBatch:
+    """An ordered slice of a fragment's feed, stored column-wise.
+
+    Duck-compatible with :class:`~repro.core.stream.RowBatch` where
+    the pipeline needs it — ``fragment``/``seq``/``row_count``/
+    ``estimated_size``/``feed_size``/``to_instance`` and a lazily
+    materialized ``rows`` view — so channels, the reliable shipping
+    layer and the residency meter handle either batch kind unchanged.
+    """
+
+    __slots__ = ("fragment", "layout", "columns", "seq", "start",
+                 "stop", "_rows", "_estimated", "_feed", "_row_sizes")
+
+    def __init__(self, fragment: Fragment, columns: list[list],
+                 seq: int, layout: ColumnLayout | None = None,
+                 start: int = 0, stop: int | None = None) -> None:
+        self.fragment = fragment
+        self.layout = layout or layout_of(fragment)
+        if len(columns) != len(self.layout.specs):
+            raise OperationError(
+                f"fragment {fragment.name!r} expects "
+                f"{len(self.layout.specs)} columns, got {len(columns)}"
+            )
+        self.columns = columns
+        self.seq = seq
+        self.start = start
+        self.stop = len(columns[0]) if stop is None else stop
+        self._rows: list[FragmentRow] | None = None
+        self._estimated: int | None = None
+        self._feed: int | None = None
+        self._row_sizes: list[int] | None = None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, fragment: Fragment, rows: "list[FragmentRow]",
+                  seq: int, layout: ColumnLayout | None = None
+                  ) -> "ColumnBatch":
+        """Flatten row trees into columns (the row→columnar bridge)."""
+        layout = layout or layout_of(fragment)
+        width = len(layout.specs)
+        columns: list[list] = [[] for _ in range(width)]
+        for row in rows:
+            cells = layout.cells_from_row(row)
+            for index in range(width):
+                columns[index].append(cells[index])
+        return cls(fragment, columns, seq, layout)
+
+    @classmethod
+    def from_row_batch(cls, batch: RowBatch,
+                       layout: ColumnLayout | None = None
+                       ) -> "ColumnBatch":
+        """Convert one :class:`RowBatch` (keeps ``seq``)."""
+        return cls.from_rows(
+            batch.fragment, batch.rows, batch.seq, layout
+        )
+
+    # -- zero-copy slicing -----------------------------------------------------
+
+    def slice(self, start: int, stop: int,
+              seq: int | None = None) -> "ColumnBatch":
+        """A view of rows ``[start, stop)`` sharing the column arrays
+        (no cell is copied)."""
+        if not 0 <= start <= stop <= self.row_count():
+            raise OperationError(
+                f"slice [{start}:{stop}) out of range for "
+                f"{self.row_count()} rows"
+            )
+        return ColumnBatch(
+            self.fragment, self.columns,
+            self.seq if seq is None else seq, self.layout,
+            self.start + start, self.start + stop,
+        )
+
+    def column(self, name: str) -> list:
+        """The cells of column ``name`` for this slice's rows.
+
+        A full-range batch returns the underlying array itself
+        (zero-copy); a narrowed view pays one list slice.
+        """
+        cells = self.columns[self.layout.positions[name]]
+        if self.start == 0 and self.stop == len(cells):
+            return cells
+        return cells[self.start:self.stop]
+
+    # -- RowBatch-compatible surface -------------------------------------------
+
+    def row_count(self) -> int:
+        """Number of fragment-root occurrences in the slice."""
+        return self.stop - self.start
+
+    @property
+    def rows(self) -> list[FragmentRow]:
+        """Materialized row view (built once, cached) — the bridge
+        back to tree consumers (wire encoding, materializing stores)."""
+        if self._rows is None:
+            layout = self.layout
+            width = len(layout.specs)
+            self._rows = [
+                layout.row_from_cells(
+                    [self.columns[col][index] for col in range(width)]
+                )
+                for index in range(self.start, self.stop)
+            ]
+        return self._rows
+
+    def to_row_batch(self) -> RowBatch:
+        """This slice as a :class:`RowBatch` (same ``seq``)."""
+        return RowBatch(self.fragment, self.rows, self.seq)
+
+    def to_instance(self):
+        """A :class:`~repro.core.instance.FragmentInstance` view."""
+        from repro.core.instance import FragmentInstance
+
+        return FragmentInstance(self.fragment, self.rows)
+
+    def row_tuples(self) -> list[tuple]:
+        """The slice as storage tuples in layout order (what a
+        columnar Write bulk-loads, no trees involved)."""
+        return list(zip(*(self.column(spec.name)
+                          for spec in self.layout.specs)))
+
+    # -- per-column byte accounting ---------------------------------------------
+
+    def column_sizes(self) -> dict[str, int]:
+        """Estimated (tagged-XML) bytes attributed to each column.
+
+        The per-element tag overhead rides on the column that keys the
+        element (``id``/``eid``); text and attribute columns carry
+        their value bytes.  Summing the dict plus the 24-byte ID/PARENT
+        exposure per row reproduces :meth:`estimated_size`.
+        """
+        sizes: dict[str, int] = {}
+        layout = self.layout
+        for spec in layout.specs:
+            cells = self.column(spec.name)
+            if spec.role == "id":
+                element = spec.element or ""
+                sizes[spec.name] = (2 * len(element) + 5) * len(cells)
+            elif spec.role == "parent":
+                sizes[spec.name] = 0
+            elif spec.role == "eid":
+                element = spec.element or ""
+                tag = 2 * len(element) + 5
+                sizes[spec.name] = tag * sum(
+                    1 for cell in cells if cell is not None
+                )
+            elif spec.role == "text":
+                sizes[spec.name] = sum(
+                    len(str(cell)) for cell in cells if cell is not None
+                )
+            else:  # attr
+                overhead = len(spec.attribute or "") + 4
+                sizes[spec.name] = sum(
+                    len(str(cell)) + overhead
+                    for cell in cells if cell is not None
+                )
+        return sizes
+
+    def estimated_size(self) -> int:
+        """Approximate serialized (tagged XML) size in bytes — agrees
+        with the row dataplane's per-row accounting exactly."""
+        if self._estimated is None:
+            self._estimated = (
+                sum(self.column_sizes().values())
+                + 24 * self.row_count()
+            )
+        return self._estimated
+
+    def row_sizes(self) -> list[int]:
+        """Per-row estimated sizes (the combine frontier accounting
+        releases child rows one by one)."""
+        if self._row_sizes is None:
+            layout = self.layout
+            count = self.row_count()
+            sizes = [24] * count
+            for spec in layout.specs:
+                if spec.role == "parent":
+                    continue
+                cells = self.column(spec.name)
+                if spec.role in ("id", "eid"):
+                    tag = 2 * len(spec.element or "") + 5
+                    for index, cell in enumerate(cells):
+                        if cell is not None:
+                            sizes[index] += tag
+                elif spec.role == "text":
+                    for index, cell in enumerate(cells):
+                        if cell is not None:
+                            sizes[index] += len(str(cell))
+                else:
+                    overhead = len(spec.attribute or "") + 4
+                    for index, cell in enumerate(cells):
+                        if cell is not None:
+                            sizes[index] += len(str(cell)) + overhead
+            self._row_sizes = sizes
+        return self._row_sizes
+
+    def feed_size(self) -> int:
+        """Approximate tabular sorted-feed (wire) size in bytes —
+        agrees with :func:`~repro.core.instance.row_feed_size`."""
+        if self._feed is None:
+            total = 8 * self.row_count()  # the PARENT key per row
+            for spec in self.layout.specs:
+                cells = self.column(spec.name)
+                if spec.role in ("id", "eid"):
+                    # key + separators per present element; non-leaf
+                    # elements carry no text of their own.
+                    total += 10 * sum(
+                        1 for cell in cells if cell is not None
+                    )
+                elif spec.role == "text":
+                    total += sum(
+                        len(str(cell))
+                        for cell in cells if cell is not None
+                    )
+                elif spec.role == "attr":
+                    total += sum(
+                        len(str(cell))
+                        for cell in cells if cell is not None
+                    )
+            self._feed = total
+        return self._feed

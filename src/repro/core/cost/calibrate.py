@@ -34,19 +34,43 @@ from repro.core.program.executor import ExecutionReport, OperationTiming
 _KINDS = ("scan", "combine", "split", "write")
 
 
+def strategy_key(kind: str, strategy: str) -> str:
+    """Calibration key for one (kind, dataplane-strategy) pair.
+
+    The row dataplane keeps the bare kind (``"combine"``) so existing
+    calibrations and callers read unchanged; other strategies qualify
+    it (``"combine.hash"``, ``"scan.columnar"``), letting one fit hold
+    hash, merge and row unit costs side by side.
+    """
+    if strategy in ("", "row"):
+        return kind
+    return f"{kind}.{strategy}"
+
+
 @dataclass(slots=True)
 class Calibration:
-    """Fitted seconds-per-work-unit by operation kind."""
+    """Fitted seconds-per-work-unit by operation kind.
+
+    Keys are :func:`strategy_key` results — bare kinds for the row
+    dataplane plus ``<kind>.<strategy>`` entries for every other
+    dataplane strategy seen in the timings.
+    """
 
     statistics: StatisticsCatalog
     seconds_per_unit: dict[str, float] = field(default_factory=dict)
     samples: dict[str, int] = field(default_factory=dict)
 
-    def predict(self, op: Operation) -> float:
+    def predict(self, op: Operation, strategy: str = "row") -> float:
         """Predicted execution seconds for ``op`` on the calibrated
-        machine (falls back to the mean scale for unseen kinds)."""
+        machine under the given dataplane strategy (falls back to the
+        row fit for uncalibrated strategies, then to the mean scale
+        for entirely unseen kinds)."""
         work = operation_work(op, self.statistics)
-        scale = self.seconds_per_unit.get(op.kind)
+        scale = self.seconds_per_unit.get(
+            strategy_key(op.kind, strategy)
+        )
+        if scale is None:
+            scale = self.seconds_per_unit.get(op.kind)
         if scale is None:
             fitted = [
                 value for value in self.seconds_per_unit.values()
@@ -73,12 +97,13 @@ class CalibratedCostModel(CostModel):
         super().__init__(*args, **kwargs)
         self.calibration = calibration
 
-    def comp_cost(self, op: Operation, location) -> float:
-        base = super().comp_cost(op, location)
+    def comp_cost(self, op: Operation, location,
+                  strategy: str = "row") -> float:
+        base = super().comp_cost(op, location, strategy)
         if base == float("inf"):
             return base  # capability restrictions still apply
         machine = self.machine(location)
-        seconds = self.calibration.predict(op) / machine.speed
+        seconds = self.calibration.predict(op, strategy) / machine.speed
         if op.kind == "write":
             seconds *= machine.index_factor
         return seconds
@@ -140,19 +165,22 @@ def calibrate_timings(program: TransferProgram,
     ]
     matched.extend(zip(unclaimed, positional))
 
-    numerator: dict[str, float] = {kind: 0.0 for kind in _KINDS}
-    denominator: dict[str, float] = {kind: 0.0 for kind in _KINDS}
+    numerator: dict[str, float] = {}
+    denominator: dict[str, float] = {}
     samples: dict[str, int] = {kind: 0 for kind in _KINDS}
     for node, timing in matched:
         work = operation_work(node, statistics)
         if work <= 0:
             continue
-        numerator[node.kind] += work * timing.seconds
-        denominator[node.kind] += work * work
-        samples[node.kind] += 1
+        key = strategy_key(
+            node.kind, getattr(timing, "strategy", "row")
+        )
+        numerator[key] = numerator.get(key, 0.0) + work * timing.seconds
+        denominator[key] = denominator.get(key, 0.0) + work * work
+        samples[key] = samples.get(key, 0) + 1
     seconds_per_unit = {
-        kind: (numerator[kind] / denominator[kind])
-        for kind in _KINDS
-        if denominator[kind] > 0
+        key: (numerator[key] / denominator[key])
+        for key in numerator
+        if denominator[key] > 0
     }
     return Calibration(statistics, seconds_per_unit, samples)

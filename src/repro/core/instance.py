@@ -26,6 +26,22 @@ from repro.schema.model import SchemaTree
 from repro.xmlkit.tree import Element
 
 
+def combine_orphan_message(parent_name: str, child_name: str,
+                           orphan_keys: Iterable[int]) -> str:
+    """Error text for child rows whose parent occurrences are missing,
+    listing the orphaned PARENT keys.  Shared by the materialized,
+    streaming and columnar combine paths so every dataplane reports
+    the identical diagnosis."""
+    keys = sorted(set(orphan_keys))
+    shown = ", ".join(str(key) for key in keys[:10])
+    if len(keys) > 10:
+        shown += f", ... ({len(keys) - 10} more)"
+    return (
+        f"combine({parent_name!r}, {child_name!r}): {len(keys)} "
+        f"orphaned PARENT key(s) reference missing parents: [{shown}]"
+    )
+
+
 @dataclass(slots=True)
 class ElementData:
     """One element occurrence: name, key, attributes, text, children.
@@ -221,19 +237,19 @@ class FragmentInstance:
         for row in self.rows:
             for occurrence in row.data.occurrences_of(anchor):
                 index[occurrence.eid] = occurrence
-        orphans = 0
+        orphan_keys: list[int] = []
         for child_row in child.rows:
-            target = index.get(child_row.parent if child_row.parent is not
-                               None else -1)
+            key = (child_row.parent
+                   if child_row.parent is not None else -1)
+            target = index.get(key)
             if target is None:
-                orphans += 1
+                orphan_keys.append(key)
                 continue
             target.add_child(child_row.data)
-        if orphans:
-            raise OperationError(
-                f"combine({self.fragment.name!r}, {child.fragment.name!r}):"
-                f" {orphans} child rows reference missing parents"
-            )
+        if orphan_keys:
+            raise OperationError(combine_orphan_message(
+                self.fragment.name, child.fragment.name, orphan_keys
+            ))
         return FragmentInstance(
             result_fragment, [FragmentRow(row.data, row.parent)
                               for row in self.rows]

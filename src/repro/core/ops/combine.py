@@ -19,17 +19,23 @@ combine chain, streams through batch by batch.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from typing import Callable, Iterable, Iterator
 
 from repro.errors import OperationError
+from repro.core.columnar import ColumnBatch, layout_of
 from repro.core.fragment import Fragment
 from repro.core.instance import (
     FragmentInstance,
     FragmentRow,
+    combine_orphan_message,
     row_estimated_size,
 )
 from repro.core.ops.base import Location, Operation
 from repro.core.stream import ResidencyMeter, RowBatch
+
+#: Join strategies of the columnar combine.
+JOIN_STRATEGIES = ("hash", "merge")
 
 
 class Combine(Operation):
@@ -132,10 +138,178 @@ class Combine(Operation):
                                   in_bytes + attached_bytes)
                 yield out
             if pending:
-                orphans = sum(len(group) for group in pending.values())
-                raise OperationError(
-                    f"combine({parent_name!r}, {child_name!r}):"
-                    f" {orphans} child rows reference missing parents"
-                )
+                orphan_keys = [
+                    key for key, group in pending.items()
+                    for _ in group
+                ]
+                raise OperationError(combine_orphan_message(
+                    parent_name, child_name, orphan_keys
+                ))
+
+        return generate()
+
+    def apply_column_batches(
+        self, parent: Iterable[ColumnBatch],
+        child: Iterable[ColumnBatch], *,
+        tick: Callable[[float, int], None] | None = None,
+        meter: ResidencyMeter | None = None,
+        observe: Callable[[str, int, int], None] | None = None,
+        force: str | None = None,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar build/probe join (same semantics as :meth:`apply`).
+
+        **Build**: the child stream — the small side, since a combine
+        chain accumulates everything into the parent — is drained into
+        consolidated column arrays plus a join index on its PARENT key.
+        **Probe**: parent batches stream through; each parent row's
+        anchor key (its own ``id`` when the anchor is the parent root,
+        the anchor's ``eid`` column otherwise) probes the index, and
+        result columns are assembled without building a single tree:
+        parent-derived columns are reused zero-copy, child-derived
+        columns are gathered by match position.
+
+        Strategy selection: the sorted-outer-union feeds arrive
+        ``ORDER BY parent, id``, so when the child's PARENT keys are
+        observed non-decreasing during the build the probe runs a
+        **merge** join (binary search on the sorted key array); shuffled
+        feeds fall back to a **hash** join (dict index).  ``force``
+        pins ``"hash"`` or ``"merge"`` regardless (a forced merge over
+        unsorted keys sorts a permutation first).
+
+        ``observe(strategy, build_rows, probe_rows)`` fires once after
+        probing, feeding the ``join.*`` metrics.
+
+        Raises:
+            OperationError: end-of-stream, listing orphaned PARENT
+                keys, exactly as the row paths do.
+        """
+        if force is not None and force not in JOIN_STRATEGIES:
+            raise OperationError(
+                f"unknown join strategy {force!r} "
+                f"(expected one of {JOIN_STRATEGIES})"
+            )
+        result_fragment = self.result
+        result_layout = layout_of(result_fragment)
+        parent_fragment = self.parent_fragment
+        child_fragment = self.child_fragment
+        parent_layout = layout_of(parent_fragment)
+        child_layout = layout_of(child_fragment)
+        anchor = child_fragment.parent_element()
+        anchor_column = parent_layout.eid_column(anchor)
+        child_elements = child_fragment.elements
+        child_root = child_fragment.root_name
+
+        # Result columns come from one side each: (from_child, name).
+        column_plan: list[tuple[bool, str]] = []
+        for spec in result_layout.specs:
+            if spec.role in ("id", "parent"):
+                column_plan.append((False, spec.name))
+            elif spec.element in child_elements:
+                source = ("id" if spec.role == "eid"
+                          and spec.element == child_root else spec.name)
+                column_plan.append((True, source))
+            else:
+                column_plan.append((False, spec.name))
+
+        def generate() -> Iterator[ColumnBatch]:
+            # ---- build: drain the child side into column arrays ----
+            keys: list[int] = []
+            child_columns: dict[str, list] = {
+                name: [] for from_child, name in column_plan
+                if from_child
+            }
+            child_sizes: list[int] = []
+            sorted_keys = True
+            for batch in child:
+                started = time.perf_counter()
+                for key in batch.column("parent"):
+                    normalized = -1 if key is None else key
+                    if keys and normalized < keys[-1]:
+                        sorted_keys = False
+                    keys.append(normalized)
+                for name, cells in child_columns.items():
+                    cells.extend(batch.column(name))
+                if meter is not None:
+                    child_sizes.extend(batch.row_sizes())
+                if tick is not None:
+                    tick(time.perf_counter() - started, 0)
+
+            strategy = force or ("merge" if sorted_keys else "hash")
+            build_rows = len(keys)
+            matched = [False] * build_rows
+            if strategy == "merge":
+                if sorted_keys:
+                    order = None
+                    probe_keys = keys
+                else:
+                    order = sorted(range(build_rows),
+                                   key=keys.__getitem__)
+                    probe_keys = [keys[i] for i in order]
+
+                def lookup(key: int) -> int | None:
+                    index = bisect_left(probe_keys, key)
+                    if (index < build_rows
+                            and probe_keys[index] == key):
+                        return order[index] if order else index
+                    return None
+            else:
+                by_key = {key: index
+                          for index, key in enumerate(keys)}
+
+                def lookup(key: int) -> int | None:
+                    return by_key.get(key)
+
+            # ---- probe: stream parent batches through the index ----
+            probe_rows = 0
+            seq = 0
+            for batch in parent:
+                started = time.perf_counter()
+                in_rows = batch.row_count()
+                in_bytes = batch.estimated_size() if meter else 0
+                probe_rows += in_rows
+                anchor_cells = batch.column(anchor_column)
+                matches: list[int | None] = [
+                    None if key is None else lookup(key)
+                    for key in anchor_cells
+                ]
+                out_columns: list[list] = []
+                for from_child, name in column_plan:
+                    if from_child:
+                        cells = child_columns[name]
+                        out_columns.append([
+                            None if hit is None else cells[hit]
+                            for hit in matches
+                        ])
+                    else:
+                        out_columns.append(batch.column(name))
+                attached_rows = 0
+                attached_bytes = 0
+                for hit in matches:
+                    if hit is None:
+                        continue
+                    matched[hit] = True
+                    if meter is not None:
+                        attached_rows += 1
+                        attached_bytes += child_sizes[hit]
+                out = ColumnBatch(result_fragment, out_columns, seq,
+                                  result_layout)
+                seq += 1
+                if tick is not None:
+                    tick(time.perf_counter() - started,
+                         out.row_count())
+                if meter is not None:
+                    meter.acquire(out.row_count(),
+                                  out.estimated_size())
+                    meter.release(in_rows + attached_rows,
+                                  in_bytes + attached_bytes)
+                yield out
+            if observe is not None:
+                observe(strategy, build_rows, probe_rows)
+            if not all(matched):
+                raise OperationError(combine_orphan_message(
+                    parent_fragment.name, child_fragment.name,
+                    [keys[index] for index, hit in enumerate(matched)
+                     if not hit],
+                ))
 
         return generate()

@@ -21,6 +21,7 @@ import time
 from collections import deque
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.core.columnar import ColumnBatch, layout_of
 from repro.core.fragment import Fragment
 from repro.core.instance import FragmentInstance
 from repro.core.ops.base import Location, Operation
@@ -68,6 +69,24 @@ class Split(Operation):
         runs each downstream expression in its own task).
         """
         state = _SplitBatchState(self, iter(batches), tick, meter)
+        return [state.stream(index) for index in range(len(self.pieces))]
+
+    def apply_column_batches(
+        self, batches: Iterable[ColumnBatch], *,
+        tick: Callable[[float, int], None] | None = None,
+        meter: ResidencyMeter | None = None,
+    ) -> "list[Iterator[ColumnBatch]]":
+        """Columnar split: pure projection/partition, no tree work.
+
+        Each piece selects the input rows where its root's key column
+        is non-null and projects the piece's columns by name — the
+        piece root's key becomes its ``id``, the key of its schema
+        parent becomes its ``parent`` (fresh ID/PARENT exposure straight
+        from existing key columns).  The root piece keeps every row and
+        reuses the input's column arrays zero-copy.  Queueing/refill
+        discipline matches :meth:`apply_batches`.
+        """
+        state = _ColumnSplitState(self, iter(batches), tick, meter)
         return [state.stream(index) for index in range(len(self.pieces))]
 
 
@@ -135,6 +154,124 @@ class _SplitBatchState:
             return self._queues[index].popleft()
 
     def stream(self, index: int) -> Iterator[RowBatch]:
+        while True:
+            batch = self._pull(index)
+            if batch is None:
+                return
+            yield batch
+
+
+class _ColumnSplitState:
+    """Shared refill state behind the columnar piece streams.
+
+    Same locking/queueing discipline as :class:`_SplitBatchState`; the
+    per-batch work is column projection instead of tree surgery.
+    """
+
+    def __init__(self, op: Split, batches: Iterator[ColumnBatch],
+                 tick: Callable[[float, int], None] | None,
+                 meter: ResidencyMeter | None) -> None:
+        self._op = op
+        self._batches = batches
+        self._tick = tick
+        self._meter = meter
+        self._lock = threading.Lock()
+        self._queues: list[deque[ColumnBatch]] = [
+            deque() for _ in op.pieces
+        ]
+        self._seqs = [0] * len(op.pieces)
+        self._exhausted = False
+        self._failure: BaseException | None = None
+        # Per-piece projection plan: (layout, key column in the input,
+        # input column name per piece spec).
+        input_layout = layout_of(op.fragment)
+        schema = op.fragment.schema
+        self._plans = []
+        for piece in op.pieces:
+            layout = layout_of(piece)
+            key_column = input_layout.eid_column(piece.root_name)
+            sources: list[str] = []
+            for spec in layout.specs:
+                if spec.role == "id":
+                    sources.append(key_column)
+                elif spec.role == "parent":
+                    if piece.root_name == op.fragment.root_name:
+                        sources.append("parent")
+                    else:
+                        anchor = schema.parent_name(piece.root_name)
+                        sources.append(
+                            input_layout.eid_column(anchor)
+                        )
+                else:
+                    sources.append(spec.name)
+            self._plans.append((layout, key_column, sources))
+
+    def _refill(self) -> None:
+        """Project one more input batch into the queues (lock held).
+
+        Raises:
+            StopIteration: when the input stream is exhausted.
+        """
+        batch = next(self._batches)
+        started = time.perf_counter()
+        in_bytes = batch.estimated_size() if self._meter else 0
+        in_rows = batch.row_count()
+        out: list[ColumnBatch | None] = []
+        rows = 0
+        for index, piece in enumerate(self._op.pieces):
+            layout, key_column, sources = self._plans[index]
+            keys = batch.column(key_column)
+            if key_column == "id":
+                kept = None  # the root piece keeps every row
+                count = in_rows
+            else:
+                kept = [position for position, key in enumerate(keys)
+                        if key is not None]
+                count = len(kept)
+            if count == 0:
+                out.append(None)
+                continue
+            if kept is None or count == in_rows:
+                columns = [batch.column(name) for name in sources]
+            else:
+                columns = [
+                    [cells[position] for position in kept]
+                    for cells in (batch.column(name)
+                                  for name in sources)
+                ]
+            out.append(ColumnBatch(piece, columns,
+                                   self._seqs[index], layout))
+            rows += count
+        if self._tick is not None:
+            self._tick(time.perf_counter() - started, rows)
+        for index, piece_batch in enumerate(out):
+            if piece_batch is None:
+                continue
+            if self._meter is not None:
+                self._meter.acquire(piece_batch.row_count(),
+                                    piece_batch.estimated_size())
+            self._queues[index].append(piece_batch)
+            self._seqs[index] += 1
+        if self._meter is not None:
+            self._meter.release(in_rows, in_bytes)
+
+    def _pull(self, index: int) -> ColumnBatch | None:
+        with self._lock:
+            while not self._queues[index]:
+                if self._failure is not None:
+                    raise self._failure
+                if self._exhausted:
+                    return None
+                try:
+                    self._refill()
+                except StopIteration:
+                    self._exhausted = True
+                except BaseException as exc:
+                    self._failure = exc
+                    raise
+            return self._queues[index].popleft()
+
+    def stream(self, index: int) -> Iterator[ColumnBatch]:
         while True:
             batch = self._pull(index)
             if batch is None:

@@ -91,7 +91,14 @@ class Shipment:
 
 @dataclass(slots=True)
 class OperationTiming:
-    """Wall-clock timing of one executed operation."""
+    """Wall-clock timing of one executed operation.
+
+    ``strategy`` names the dataplane variant that actually ran:
+    ``"row"`` for the materialized and row-batch paths, ``"columnar"``
+    for columnar scan/split/write, and ``"hash"``/``"merge"`` for the
+    two columnar join strategies of Combine — the key the cost
+    calibration uses to fit per-strategy unit costs.
+    """
 
     label: str
     kind: str
@@ -99,6 +106,7 @@ class OperationTiming:
     seconds: float
     rows: int
     op_id: int = -1
+    strategy: str = "row"
 
 
 @dataclass(slots=True)
@@ -240,9 +248,16 @@ class ProgramExecutor:
                  retry: "RetryPolicy | None" = None,
                  journal: ExchangeJournal | None = None,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 columnar: bool = False,
+                 join_strategy: str | None = None) -> None:
         if batch_rows is not None and batch_rows < 1:
             raise ValueError("batch_rows must be >= 1 or None")
+        if columnar and batch_rows is None:
+            raise ValueError(
+                "columnar execution requires batch_rows (the columnar "
+                "dataplane is a streaming dataplane)"
+            )
         self.source = source
         self.target = target
         self.channel: ShippingChannel = channel or _ZeroCostChannel()
@@ -251,6 +266,8 @@ class ProgramExecutor:
         self.journal = journal
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics
+        self.columnar = columnar
+        self.join_strategy = join_strategy
 
     def _endpoint(self, location: Location) -> DataEndpoint:
         return self.source if location is Location.SOURCE else self.target
@@ -276,6 +293,8 @@ class ProgramExecutor:
                 self.channel, self.batch_rows,
                 retry=self.retry, journal=self.journal,
                 tracer=self.tracer, metrics=self.metrics,
+                columnar=self.columnar,
+                join_strategy=self.join_strategy,
             ).execute_sequential()
 
         started = time.perf_counter()

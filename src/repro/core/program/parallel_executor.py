@@ -84,11 +84,18 @@ class ParallelProgramExecutor:
                  retry: "RetryPolicy | None" = None,
                  journal: ExchangeJournal | None = None,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 columnar: bool = False,
+                 join_strategy: str | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if batch_rows is not None and batch_rows < 1:
             raise ValueError("batch_rows must be >= 1 or None")
+        if columnar and batch_rows is None:
+            raise ValueError(
+                "columnar execution requires batch_rows (the columnar "
+                "dataplane is a streaming dataplane)"
+            )
         self.source = source
         self.target = target
         self.channel: ShippingChannel = channel or _ZeroCostChannel()
@@ -98,6 +105,8 @@ class ParallelProgramExecutor:
         self.journal = journal
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics
+        self.columnar = columnar
+        self.join_strategy = join_strategy
 
     def run(self, program: TransferProgram,
             placement: Placement | None = None) -> ExecutionReport:
@@ -122,6 +131,8 @@ class ParallelProgramExecutor:
                 self.channel, self.batch_rows,
                 retry=self.retry, journal=self.journal,
                 tracer=self.tracer, metrics=self.metrics,
+                columnar=self.columnar,
+                join_strategy=self.join_strategy,
             ).execute_parallel(self.workers)
         run = _ScheduledRun(
             program, placement, self.source, self.target,

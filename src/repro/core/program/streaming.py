@@ -35,6 +35,7 @@ from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Iterator
 
 from repro.errors import ProgramError
+from repro.core.columnar import ColumnBatch
 from repro.core.ops.base import Location, Operation
 from repro.core.ops.combine import Combine
 from repro.core.ops.scan import Scan
@@ -58,6 +59,7 @@ from repro.net.faults import (
 )
 from repro.obs.metrics import (
     MetricsRegistry,
+    observe_join,
     observe_operation,
     observe_shipment,
 )
@@ -142,7 +144,9 @@ class StreamingRun:
                  retry: RetryPolicy | None = None,
                  journal: ExchangeJournal | None = None,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 columnar: bool = False,
+                 join_strategy: str | None = None) -> None:
         self.program = program
         self.placement = placement
         self.source = source
@@ -153,6 +157,14 @@ class StreamingRun:
         self.journal = journal
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics
+        #: Columnar dataplane: flat-storable fragments move as
+        #: :class:`~repro.core.columnar.ColumnBatch` (Combine runs the
+        #: build/probe join, Split projects columns); non-flat
+        #: fragments fall back to row batches per stream.
+        self.columnar = columnar
+        #: Pins the columnar Combine's join strategy ("hash"/"merge");
+        #: ``None`` auto-selects from observed feed order.
+        self.join_strategy = join_strategy
         self._rstats = RobustnessStats()
         self.report = ExecutionReport(batch_rows=batch_rows)
         self.meter = ResidencyMeter()
@@ -160,6 +172,10 @@ class StreamingRun:
         self._stats = {
             node.op_id: _NodeStats() for node in program.nodes
         }
+        #: Per-op dataplane strategy actually used ("row" when absent;
+        #: "columnar" for columnar scan/split/write, the join strategy
+        #: for a columnar combine) — reported on each OperationTiming.
+        self._strategies: dict[int, str] = {}
         self._abort = threading.Event()
         self._prefetch_pool: ThreadPoolExecutor | None = None
         self._leftovers: list[tuple[int, int]] = []
@@ -217,9 +233,11 @@ class StreamingRun:
         for node in self.program.topological_order():
             stats = self._stats[node.op_id]
             location = self.placement[node.op_id]
+            strategy = self._strategies.get(node.op_id, "row")
             report.op_timings.append(
                 OperationTiming(node.label(), node.kind, location,
-                                stats.seconds, stats.rows, node.op_id)
+                                stats.seconds, stats.rows, node.op_id,
+                                strategy)
             )
             report.comp_seconds[location] += stats.seconds
             if node.kind == "write":
@@ -231,7 +249,7 @@ class StreamingRun:
                 node.label(), "op", start=started,
                 seconds=stats.seconds, op_id=node.op_id,
                 kind=node.kind, location=location.name.lower(),
-                rows=stats.rows,
+                rows=stats.rows, strategy=strategy,
             )
             observe_operation(
                 self.metrics, node.kind, stats.seconds, stats.rows
@@ -259,8 +277,9 @@ class StreamingRun:
         acknowledged high-water mark (``skip_through``) replay through
         the pipeline but bypass the wire and the store.
         """
+        wire_format = getattr(self.channel, "wire_format", False)
         streams: dict[tuple[int, int],
-                      tuple[Iterator[RowBatch], Location]] = {}
+                      tuple[Iterator[RowBatch], Location, bool]] = {}
         drives: list[tuple[Write, DataEndpoint,
                            Iterator[RowBatch], int]] = []
         for node in self.program.topological_order():
@@ -278,10 +297,18 @@ class StreamingRun:
                         endpoint, "incremental_writes", False):
                     skip_through = self.journal.acked_through(jkey)
             inputs: list[Iterator[RowBatch]] = []
+            input_columnar: list[bool] = []
             for edge in self.program.in_edges(node):
                 key = (edge.producer.op_id, edge.output_index)
-                iterator, holder = streams.pop(key)
+                iterator, holder, is_columnar = streams.pop(key)
                 if holder is not location and not done:
+                    if is_columnar and wire_format:
+                        # The wire moves serialized *rows*; hop to the
+                        # row representation around the ship and come
+                        # back columnar on the far side.
+                        iterator = (
+                            batch.to_row_batch() for batch in iterator
+                        )
                     if self._prefetch_pool is not None:
                         iterator = _Prefetch(
                             iterator, self._prefetch_pool, self._abort
@@ -289,31 +316,81 @@ class StreamingRun:
                     iterator = self._shipped(
                         key, iterator, skip_through
                     )
+                    if is_columnar and wire_format:
+                        iterator = (
+                            ColumnBatch.from_row_batch(batch)
+                            for batch in iterator
+                        )
                 inputs.append(iterator)
+                input_columnar.append(is_columnar)
             outputs: list[Iterator[RowBatch]]
+            columnar_out = False
             if isinstance(node, Scan):
-                outputs = [self._scan_batches(node, endpoint)]
-            elif isinstance(node, Combine):
-                outputs = [node.apply_batches(
-                    inputs[0], inputs[1],
-                    tick=self._ticker(node), meter=self.meter,
-                )]
-            elif isinstance(node, Split):
-                outputs = node.apply_batches(
-                    inputs[0], tick=self._ticker(node), meter=self.meter
+                columnar_out = (
+                    self.columnar
+                    and node.fragment.is_flat_storable()
                 )
+                outputs = [self._scan_batches(
+                    node, endpoint, columnar_out
+                )]
+            elif isinstance(node, Combine):
+                columnar_out = (
+                    all(input_columnar)
+                    and node.result.is_flat_storable()
+                )
+                if columnar_out:
+                    outputs = [node.apply_column_batches(
+                        inputs[0], inputs[1],
+                        tick=self._ticker(node), meter=self.meter,
+                        observe=self._join_observer(node),
+                        force=self.join_strategy,
+                    )]
+                else:
+                    outputs = [node.apply_batches(
+                        self._as_rows(inputs[0], input_columnar[0]),
+                        self._as_rows(inputs[1], input_columnar[1]),
+                        tick=self._ticker(node), meter=self.meter,
+                    )]
+            elif isinstance(node, Split):
+                columnar_out = (
+                    input_columnar[0]
+                    and all(piece.is_flat_storable()
+                            for piece in node.pieces)
+                )
+                if columnar_out:
+                    outputs = node.apply_column_batches(
+                        inputs[0], tick=self._ticker(node),
+                        meter=self.meter,
+                    )
+                else:
+                    outputs = node.apply_batches(
+                        self._as_rows(inputs[0], input_columnar[0]),
+                        tick=self._ticker(node), meter=self.meter,
+                    )
             elif isinstance(node, Write):
                 if not done:
                     drives.append(
                         (node, endpoint, inputs[0], skip_through)
                     )
+                if input_columnar[0]:
+                    self._strategies[node.op_id] = "columnar"
                 outputs = []
             else:
                 raise ProgramError(
                     f"unknown operation kind {node.kind!r}"
                 )
+            if columnar_out and not isinstance(node, Combine):
+                self._strategies[node.op_id] = "columnar"
+            elif columnar_out:
+                # Pre-seed; the join observer overwrites with the
+                # strategy actually selected once the build finishes.
+                self._strategies[node.op_id] = (
+                    self.join_strategy or "hash"
+                )
             for index, output in enumerate(outputs):
-                streams[(node.op_id, index)] = (output, location)
+                streams[(node.op_id, index)] = (
+                    output, location, columnar_out
+                )
         # Whatever was wired but never popped is exactly the program's
         # statically dangling ports.
         self._leftovers = self.program.dangling_ports()
@@ -329,16 +406,44 @@ class StreamingRun:
 
         return tick
 
+    def _join_observer(self, node: Combine):
+        """Callback recording a columnar combine's join statistics."""
+
+        def observe(strategy: str, build_rows: int,
+                    probe_rows: int) -> None:
+            with self._lock:
+                self._strategies[node.op_id] = strategy
+            observe_join(
+                self.metrics, strategy, build_rows, probe_rows
+            )
+
+        return observe
+
+    @staticmethod
+    def _as_rows(iterator: Iterator[RowBatch],
+                 is_columnar: bool) -> Iterator[RowBatch]:
+        """Bridge a columnar stream back to row batches (fallback for
+        operators whose output cannot stay flat)."""
+        if not is_columnar:
+            return iterator
+        return (batch.to_row_batch() for batch in iterator)
+
     # -- per-kind batch stages -----------------------------------------------------
 
-    def _scan_batches(self, node: Scan,
-                      endpoint: DataEndpoint) -> Iterator[RowBatch]:
+    def _scan_batches(self, node: Scan, endpoint: DataEndpoint,
+                      columnar: bool = False) -> Iterator[RowBatch]:
         tick = self._ticker(node)
 
         def generate() -> Iterator[RowBatch]:
-            iterator = iter(
-                endpoint.scan_stream(node.fragment, self.batch_rows)
-            )
+            if columnar:
+                stream = endpoint.scan_stream_columnar(
+                    node.fragment, self.batch_rows
+                )
+            else:
+                stream = endpoint.scan_stream(
+                    node.fragment, self.batch_rows
+                )
+            iterator = iter(stream)
             while True:
                 started = time.perf_counter()
                 try:
@@ -346,9 +451,9 @@ class StreamingRun:
                 except StopIteration:
                     tick(time.perf_counter() - started, 0)
                     return
-                tick(time.perf_counter() - started, len(batch.rows))
+                tick(time.perf_counter() - started, batch.row_count())
                 self.meter.acquire(
-                    len(batch.rows), batch.estimated_size()
+                    batch.row_count(), batch.estimated_size()
                 )
                 yield batch
 
@@ -455,15 +560,15 @@ class StreamingRun:
                 if batch.seq <= skip_through:
                     # Stored by an earlier attempt; don't load again.
                     self.meter.release(
-                        len(batch.rows), batch.estimated_size()
+                        batch.row_count(), batch.estimated_size()
                     )
                     continue
                 pending_release = (
-                    len(batch.rows), batch.estimated_size()
+                    batch.row_count(), batch.estimated_size()
                 )
                 if incremental:
                     pending_ack = batch.seq
-                rows_total += len(batch.rows)
+                rows_total += batch.row_count()
                 yield batch
 
         started = time.perf_counter()

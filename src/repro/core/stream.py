@@ -16,7 +16,7 @@ report) for both dataplanes so the bound is checkable.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro.errors import OperationError
@@ -45,18 +45,37 @@ class RowBatch:
     fragment: Fragment
     rows: list[FragmentRow]
     seq: int
+    #: Memoized size sums.  Several pipeline stages (residency meter,
+    #: channel charging, shipping accounting) each ask for the size of
+    #: the same immutable slice; walking every row's tree per ask is
+    #: pure waste.  Operations that mutate rows (Combine) emit a *new*
+    #: RowBatch for the result, so a cached value never goes stale.
+    _estimated: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _feed: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def row_count(self) -> int:
         """Number of fragment-root occurrences in the slice."""
         return len(self.rows)
 
     def estimated_size(self) -> int:
-        """Approximate serialized (tagged XML) size in bytes."""
-        return sum(row_estimated_size(row) for row in self.rows)
+        """Approximate serialized (tagged XML) size in bytes
+        (computed once per batch, then memoized)."""
+        if self._estimated is None:
+            self._estimated = sum(
+                row_estimated_size(row) for row in self.rows
+            )
+        return self._estimated
 
     def feed_size(self) -> int:
-        """Approximate tabular sorted-feed (wire) size in bytes."""
-        return sum(row_feed_size(row) for row in self.rows)
+        """Approximate tabular sorted-feed (wire) size in bytes
+        (computed once per batch, then memoized)."""
+        if self._feed is None:
+            self._feed = sum(row_feed_size(row) for row in self.rows)
+        return self._feed
 
     def to_instance(self) -> FragmentInstance:
         """A :class:`FragmentInstance` sharing this batch's rows."""

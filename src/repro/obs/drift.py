@@ -28,7 +28,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.core.cost.calibrate import Calibration, calibrate_timings
+from repro.core.cost.calibrate import (
+    Calibration,
+    calibrate_timings,
+    strategy_key,
+)
 from repro.core.cost.estimates import StatisticsCatalog
 from repro.core.cost.probe import CostProbe
 from repro.core.ops.base import Location
@@ -60,6 +64,9 @@ class OpDrift:
     predicted: float
     measured_seconds: float
     rows: int
+    #: Dataplane strategy the op actually ran ("row", "columnar",
+    #: or the columnar join strategies "hash"/"merge").
+    strategy: str = "row"
 
     @property
     def ratio(self) -> float | None:
@@ -102,14 +109,18 @@ class DriftReport:
 
         Keys are the operation kinds that executed plus ``"comm"`` for
         the cross-edges; kinds whose predictions are all degenerate
-        are omitted.
+        are omitted.  Ops that ran a non-row dataplane strategy roll
+        up under the qualified :func:`~repro.core.cost.calibrate.
+        strategy_key` (``"combine.hash"``), so hash, merge and row
+        drifts are visible side by side.
         """
         sums: dict[str, tuple[float, float]] = {}
         for entry in self.ops:
             if entry.ratio is None:
                 continue
-            measured, predicted = sums.get(entry.kind, (0.0, 0.0))
-            sums[entry.kind] = (
+            key = strategy_key(entry.kind, entry.strategy)
+            measured, predicted = sums.get(key, (0.0, 0.0))
+            sums[key] = (
                 measured + entry.measured_seconds,
                 predicted + entry.predicted,
             )
@@ -139,6 +150,7 @@ class DriftReport:
                     "predicted": entry.predicted,
                     "measured_seconds": entry.measured_seconds,
                     "rows": entry.rows,
+                    "strategy": entry.strategy,
                     "ratio": entry.ratio,
                 }
                 for entry in self.ops
@@ -191,7 +203,7 @@ class DriftReport:
         lines.append("")
         lines.append("per-kind drift (measured / predicted):")
         for kind, ratio in self.kind_ratios().items():
-            lines.append(f"  {kind:<8} {ratio:.6g}")
+            lines.append(f"  {kind:<16} {ratio:.6g}")
         return "\n".join(lines)
 
 
@@ -204,6 +216,10 @@ def cost_drift_report(program: TransferProgram, placement: Placement,
     seconds come from the report's timings, matched by ``op_id``) and
     every cross-edge of ``placement`` an :class:`EdgeDrift` (measured
     seconds/bytes come from the report's shipment accounting).
+    Predictions are priced at the strategy each op actually ran when
+    the probe supports per-strategy pricing (``CostModel`` and
+    ``CalibratedCostModel`` do; plain endpoint probes fall back to
+    their single-strategy estimate).
 
     Raises:
         ValueError: if the report lacks a timing for some node — it
@@ -221,14 +237,25 @@ def cost_drift_report(program: TransferProgram, placement: Placement,
                 f"({node.label()}); was it produced by this program?"
             )
         location = placement[node.op_id]
+        strategy = getattr(timing, "strategy", "row")
+        if strategy in ("", "row"):
+            predicted = probe.comp_cost(node, location)
+        else:
+            try:
+                predicted = probe.comp_cost(node, location, strategy)
+            except TypeError:
+                # Probe predates per-strategy pricing — its single
+                # estimate is the best prediction it can offer.
+                predicted = probe.comp_cost(node, location)
         result.ops.append(OpDrift(
             op_id=node.op_id,
             label=node.label(),
             kind=node.kind,
             location=location,
-            predicted=probe.comp_cost(node, location),
+            predicted=predicted,
             measured_seconds=timing.seconds,
             rows=timing.rows,
+            strategy=strategy,
         ))
     for edge in program.cross_edges(placement):
         key = (edge.producer.op_id, edge.output_index)
@@ -307,9 +334,10 @@ def report_from_trace(program: TransferProgram,
             )
         location = Location[str(span.attrs["location"]).upper()]
         rows = int(span.attrs.get("rows", 0))  # type: ignore[arg-type]
+        strategy = str(span.attrs.get("strategy", "row"))
         report.op_timings.append(OperationTiming(
             span.name, str(span.attrs.get("kind", node.kind)),
-            location, span.seconds, rows, node.op_id,
+            location, span.seconds, rows, node.op_id, strategy,
         ))
         report.comp_seconds[location] += span.seconds
         if node.kind == "write":

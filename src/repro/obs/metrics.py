@@ -29,6 +29,7 @@ __all__ = [
     "Timer",
     "SECONDS_BUCKETS",
     "SIZE_BUCKETS",
+    "observe_join",
     "observe_operation",
     "observe_shipment",
 ]
@@ -281,6 +282,19 @@ def observe_operation(registry: MetricsRegistry | None, kind: str,
     registry.counter(f"op.{kind}.count").add(1)
     registry.counter(f"op.{kind}.rows").add(rows)
     registry.histogram(f"op.{kind}.seconds").observe(seconds)
+
+
+def observe_join(registry: MetricsRegistry | None, strategy: str,
+                 build_rows: int, probe_rows: int) -> None:
+    """Record one columnar combine's build/probe statistics into the
+    join metrics: ``join.build_rows``/``join.probe_rows`` accumulate
+    the side sizes and ``join.strategy.<strategy>`` counts how often
+    each join strategy was selected."""
+    if registry is None:
+        return
+    registry.counter("join.build_rows").add(build_rows)
+    registry.counter("join.probe_rows").add(probe_rows)
+    registry.counter(f"join.strategy.{strategy}").add(1)
 
 
 def observe_shipment(registry: MetricsRegistry | None,

@@ -13,10 +13,10 @@ id`` (a sorted feed, as in [5, 6]).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import RelationalError, TableError
+from repro.core.columnar import ColumnBatch, ColumnLayout, ColumnSpec
 from repro.core.fragment import Fragment
 from repro.core.fragmentation import Fragmentation
 from repro.core.instance import ElementData, FragmentInstance, FragmentRow
@@ -25,19 +25,21 @@ from repro.relational.engine import Database
 from repro.relational.schema import Column, TableSchema
 from repro.relational.types import ColumnType
 
-
-@dataclass(frozen=True, slots=True)
-class _ColumnSpec:
-    """How one table column relates to the fragment's elements."""
-
-    name: str
-    role: str  # "id" | "parent" | "eid" | "text" | "attr"
-    element: str | None = None
-    attribute: str | None = None
+#: The table layout and the columnar dataplane share one spec type —
+#: a fragment's table columns ARE its :class:`~repro.core.columnar.
+#: ColumnBatch` columns, in the same order.
+_ColumnSpec = ColumnSpec
 
 
-class _FragmentLayout:
-    """Column layout of one fragment's table."""
+class _FragmentLayout(ColumnLayout):
+    """Column layout of one fragment's table.
+
+    Extends the dataplane's :class:`~repro.core.columnar.ColumnLayout`
+    (same specs, same order — that identity is what makes a columnar
+    scan a straight slice of the sorted feed and a columnar write a
+    straight bulk load) with the table name, DDL generation and the
+    row<->occurrence converters of the materialized paths.
+    """
 
     def __init__(self, fragment: Fragment) -> None:
         if not fragment.is_flat_storable():
@@ -45,34 +47,8 @@ class _FragmentLayout:
                 f"fragment {fragment.name!r} has repeated inner elements "
                 "and cannot be stored as a flat relation (see DESIGN.md)"
             )
-        self.fragment = fragment
+        super().__init__(fragment)
         self.table_name = fragment.name
-        self.specs: list[_ColumnSpec] = [
-            _ColumnSpec("id", "id", fragment.root_name),
-            _ColumnSpec("parent", "parent"),
-        ]
-        schema = fragment.schema
-        ordered_elements = [
-            node.name for node in schema.iter_nodes()
-            if node.name in fragment.elements
-        ]
-        for element in ordered_elements:
-            node = schema.node(element)
-            if element != fragment.root_name:
-                self.specs.append(
-                    _ColumnSpec(f"{element.lower()}_eid", "eid", element)
-                )
-            if node.is_leaf:
-                self.specs.append(
-                    _ColumnSpec(element.lower(), "text", element)
-                )
-            for attribute in node.attributes:
-                self.specs.append(
-                    _ColumnSpec(
-                        f"{element.lower()}_{attribute.lower()}",
-                        "attr", element, attribute,
-                    )
-                )
         names = [spec.name for spec in self.specs]
         if len(names) != len(set(names)):
             raise TableError(
@@ -330,6 +306,82 @@ class FragmentRelationMapper:
                 yield RowBatch(fragment, buffer, seq)
 
         return generate()
+
+    def scan_fragment_columns(self, db: Database, fragment: Fragment,
+                              batch_rows: int
+                              ) -> Iterator[ColumnBatch]:
+        """Read a fragment as a stream of columnar batches.
+
+        Same sorted ``SELECT`` as :meth:`scan_fragment`, but no trees
+        are built at all: the raw tuples are transposed into the
+        fragment's column arrays, normalized to the dataplane's cell
+        invariant (keys as ``int``/``None``; text of a present element
+        is a string — SQL ``NULL`` normalizes to ``""`` exactly as the
+        tree round-trip does; cells of absent elements are ``None``).
+        """
+        layout, positions, raw_rows = self._sorted_feed(db, fragment)
+        specs = layout.specs
+        # Presence of an element is keyed by its id/eid column.
+        key_positions = {
+            spec.element: positions[spec.name]
+            for spec in specs
+            if spec.role in ("id", "eid") and spec.element
+        }
+
+        def generate() -> Iterator[ColumnBatch]:
+            seq = 0
+            for start in range(0, len(raw_rows), batch_rows):
+                chunk = raw_rows[start:start + batch_rows]
+                columns: list[list] = []
+                for spec in specs:
+                    at = positions[spec.name]
+                    if spec.role == "id":
+                        cells: list = []
+                        for raw in chunk:
+                            value = raw[at]
+                            if value is None:
+                                raise RelationalError(
+                                    f"row in {layout.table_name!r} "
+                                    "has NULL id"
+                                )
+                            cells.append(int(value))
+                    elif spec.role in ("parent", "eid"):
+                        cells = [
+                            None if raw[at] is None else int(raw[at])
+                            for raw in chunk
+                        ]
+                    elif spec.role == "text":
+                        key_at = key_positions[spec.element]
+                        cells = [
+                            None if raw[key_at] is None
+                            else "" if raw[at] is None
+                            else str(raw[at])
+                            for raw in chunk
+                        ]
+                    else:  # attr
+                        key_at = key_positions[spec.element]
+                        cells = [
+                            None if (raw[key_at] is None
+                                     or raw[at] is None)
+                            else str(raw[at])
+                            for raw in chunk
+                        ]
+                    columns.append(cells)
+                yield ColumnBatch(fragment, columns, seq, layout)
+                seq += 1
+
+        return generate()
+
+    def load_columns(self, db: Database, fragment: Fragment,
+                     batch: ColumnBatch) -> int:
+        """Bulk-load one columnar batch into the fragment's table —
+        the per-batch unit of a columnar Write.  The batch's layout
+        matches the table's column order by construction, so this is a
+        straight transpose-and-load with no tree flattening."""
+        layout = self.layout_for(fragment)
+        rows = batch.row_tuples()
+        with self._table_locks[fragment.name]:
+            return db.load(layout.table_name, rows)
 
     def truncate_all(self, db: Database) -> None:
         """Empty every fragment table (fresh target before a run)."""

@@ -391,6 +391,7 @@ class ExchangeBroker:
                  = SimulatedChannel,
                  parallel_workers: int = 1,
                  batch_rows: int | None = None,
+                 columnar: bool = False,
                  retry_policy: "RetryPolicy | None" = None,
                  fault_plan: "FaultPlan | None" = None,
                  metrics: MetricsRegistry | None = None,
@@ -416,6 +417,7 @@ class ExchangeBroker:
         self.channel_factory = channel_factory
         self.parallel_workers = parallel_workers
         self.batch_rows = batch_rows
+        self.columnar = columnar
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
         self.metrics = metrics
@@ -554,6 +556,7 @@ class ExchangeBroker:
                         plan_knobs={
                             "parallel_workers": self.parallel_workers,
                             "batch_rows": self.batch_rows,
+                            "columnar": self.columnar,
                         },
                         metrics=self.metrics,
                     )
@@ -567,6 +570,7 @@ class ExchangeBroker:
                     scenario=scenario,
                     parallel_workers=self.parallel_workers,
                     batch_rows=self.batch_rows,
+                    columnar=self.columnar,
                     retry_policy=self.retry_policy,
                     fault_plan=self.fault_plan,
                     tracer=self.tracer,

@@ -14,6 +14,7 @@ import abc
 import threading
 
 from repro.errors import EndpointError
+from repro.core.columnar import ColumnBatch
 from repro.core.cost.estimates import StatisticsCatalog
 from repro.core.cost.model import (
     INFINITE_COST,
@@ -90,6 +91,23 @@ class SystemEndpoint(abc.ABC):
         never resident.
         """
         self.write(fragment, stream.materialize())
+
+    def scan_stream_columnar(self, fragment: Fragment,
+                             batch_rows: int = DEFAULT_BATCH_ROWS
+                             ) -> "FragmentStream":
+        """Produce the stored feed as :class:`~repro.core.columnar.
+        ColumnBatch` batches.
+
+        The default flattens the row-batch stream batch by batch;
+        endpoints whose store is already tabular (the relational one)
+        override this to skip tree building entirely.
+        """
+        row_stream = self.scan_stream(fragment, batch_rows)
+        return FragmentStream(
+            fragment,
+            (ColumnBatch.from_row_batch(batch)
+             for batch in row_stream),
+        )
 
     # -- statistics ----------------------------------------------------------
 
@@ -174,11 +192,28 @@ class RelationalEndpoint(SystemEndpoint):
             ),
         )
 
+    def scan_stream_columnar(self, fragment: Fragment,
+                             batch_rows: int = DEFAULT_BATCH_ROWS
+                             ) -> FragmentStream:
+        """Stream the fragment as columnar batches sliced straight off
+        the sorted table feed — no occurrence trees anywhere."""
+        return FragmentStream(
+            fragment,
+            self.mapper.scan_fragment_columns(
+                self.db, fragment, batch_rows
+            ),
+        )
+
     def write_stream(self, fragment: Fragment,
                      stream: FragmentStream) -> None:
-        """Bulk-load each arriving batch into the fragment's table."""
+        """Bulk-load each arriving batch into the fragment's table.
+        Columnar batches load without flattening any trees; row
+        batches flatten per row as before."""
         for batch in stream:
-            self.mapper.load_rows(self.db, fragment, batch.rows)
+            if isinstance(batch, ColumnBatch):
+                self.mapper.load_columns(self.db, fragment, batch)
+            else:
+                self.mapper.load_rows(self.db, fragment, batch.rows)
 
     def build_indexes(self) -> int:
         """Create/refresh the standard indexes (the separately timed

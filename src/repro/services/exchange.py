@@ -66,6 +66,8 @@ class ExchangeOutcome:
     wall_seconds: float = 0.0
     #: Dataplane the program phase used (None = materialized).
     batch_rows: int | None = None
+    #: Whether the program phase ran the columnar dataplane.
+    columnar: bool = False
     #: Peak fragment rows / bytes resident in the dataplane (see
     #: :class:`~repro.core.program.executor.ExecutionReport`).
     peak_resident_rows: int = 0
@@ -114,6 +116,8 @@ def run_optimized_exchange(
     scenario: str = "exchange",
     parallel_workers: int = 1,
     batch_rows: int | None = None,
+    columnar: bool = False,
+    join_strategy: str | None = None,
     retry_policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     journal: ExchangeJournal | None = None,
@@ -134,6 +138,12 @@ def run_optimized_exchange(
     ``batch_rows`` selects the executor's dataplane: ``None`` moves
     materialized instances, an integer streams row batches of that size
     (bounded peak residency, chunked shipping, same written fragments).
+    ``columnar=True`` (requires ``batch_rows``) streams flat-storable
+    fragments as :class:`~repro.core.columnar.ColumnBatch` columns
+    instead — Combine runs the build/probe join, Split projects
+    columns, and the written fragments stay byte-identical.
+    ``join_strategy`` pins the columnar join ("hash"/"merge"; default
+    auto-selects from the observed feed order).
 
     ``fault_plan`` makes the channel lossy (see :mod:`repro.net.
     faults`); ``retry_policy`` arms the reliable layer that heals the
@@ -154,7 +164,7 @@ def run_optimized_exchange(
     tracer = tracer or NULL_TRACER
     outcome = ExchangeOutcome(
         scenario, "DE", parallel_workers=parallel_workers,
-        batch_rows=batch_rows,
+        batch_rows=batch_rows, columnar=columnar,
     )
     if reset_channel:
         channel.reset()
@@ -171,12 +181,14 @@ def run_optimized_exchange(
                 batch_rows=batch_rows,
                 retry=retry_policy, journal=journal,
                 tracer=tracer, metrics=metrics,
+                columnar=columnar, join_strategy=join_strategy,
             )
     else:
         executor = ProgramExecutor(
             source, target, wire, batch_rows=batch_rows,
             retry=retry_policy, journal=journal,
             tracer=tracer, metrics=metrics,
+            columnar=columnar, join_strategy=join_strategy,
         )
     with tracer.span("execute program", "step", scenario=scenario,
                      method="DE", workers=parallel_workers):

@@ -194,6 +194,7 @@ class ExchangeSimulator:
                        order_limit: int | None = 200,
                        parallel: ParallelEstimate | None = None,
                        batch_rows: int | None = None,
+                       columnar: bool = False,
                        fault_plan: "FaultPlan | None" = None,
                        retry_attempts: int = 4
                        ) -> SimulatedCosts:
@@ -219,6 +220,16 @@ class ExchangeSimulator:
         publishing baseline ships one monolithic document and gets no
         credit.
 
+        ``columnar=True`` (requires ``batch_rows``, like the live
+        executors) prices DE's computation at the columnar dataplane's
+        per-strategy work scales (:data:`~repro.core.cost.model.
+        DEFAULT_STRATEGY_SCALES`): scans, splits and writes at the
+        ``"columnar"`` scale and combines at the ``"merge"`` scale —
+        sorted feeds make the merge join the auto-selected strategy on
+        an in-order simulated exchange.  Communication is unchanged
+        (the wire format stays row feeds).  The publishing baseline is
+        one monolithic query with no columnar variant.
+
         ``fault_plan`` prices communication under loss: both sides'
         communication cost is multiplied by the plan's expected
         transmissions per delivered message (a truncated geometric
@@ -228,6 +239,11 @@ class ExchangeSimulator:
         burn the wire too, and both methods pay the same per-message
         inflation.
         """
+        if columnar and batch_rows is None:
+            raise ValueError(
+                "columnar pricing requires batch_rows (the columnar "
+                "dataplane is a streaming dataplane)"
+            )
         model = self.model(source, target)
         mapping = derive_mapping(
             source_fragmentation, target_fragmentation
@@ -237,13 +253,22 @@ class ExchangeSimulator:
             best = optimal_exchange(
                 mapping, model, self.weights, order_limit
             )
+        strategies: dict[str, str] | None = None
+        if columnar:
+            strategies = {
+                "scan": "columnar", "split": "columnar",
+                "write": "columnar", "combine": "merge",
+            }
         with self.tracer.span("price exchange", "sim"):
-            exchange = model.breakdown(best.program, best.placement)
+            exchange = model.breakdown(
+                best.program, best.placement, strategies
+            )
+        write_strategy = "columnar" if columnar else "row"
         for node in best.program.nodes:
             if isinstance(node, Write):
                 location = best.placement[node.op_id]
                 cost = self.weights.computation * model.comp_cost(
-                    node, location
+                    node, location, write_strategy
                 )
                 exchange.computation -= cost
                 exchange.by_location[location] -= cost

@@ -111,6 +111,36 @@ class TestExchangeCosts:
                 order_limit=40, batch_rows=0,
             )
 
+    def test_columnar_prices_below_row(self, simulator,
+                                       fragmentations):
+        source_fragmentation, target_fragmentation = fragmentations
+        row = simulator.exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"), order_limit=40,
+            batch_rows=64,
+        )
+        columnar = simulator.exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"), order_limit=40,
+            batch_rows=64, columnar=True,
+        )
+        # The per-strategy scales shrink every priced operator, so the
+        # compute estimate drops; shipping is dataplane-blind.
+        assert columnar.exchange.computation < row.exchange.computation
+        assert columnar.exchange.communication == pytest.approx(
+            row.exchange.communication
+        )
+
+    def test_columnar_requires_batch_rows(self, simulator,
+                                          fragmentations):
+        source_fragmentation, target_fragmentation = fragmentations
+        with pytest.raises(ValueError, match="batch_rows"):
+            simulator.exchange_costs(
+                source_fragmentation, target_fragmentation,
+                MachineProfile("s"), MachineProfile("t"),
+                order_limit=40, columnar=True,
+            )
+
     def test_publish_cost_all_at_source(self, simulator,
                                         fragmentations):
         source_fragmentation, _ = fragmentations

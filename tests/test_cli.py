@@ -87,6 +87,20 @@ class TestExchangeCommand:
                 io.StringIO(),
             )
 
+    def test_columnar_defaults_batch_rows(self):
+        output = run_cli(
+            "exchange", "MF", "LF", "--size", "2.5",
+            "--scale", "0.02", "--columnar",
+        )
+        assert "columnar dataplane (batch_rows=256)" in output
+
+    def test_columnar_keeps_explicit_batch_rows(self):
+        output = run_cli(
+            "exchange", "MF", "LF", "--size", "2.5",
+            "--scale", "0.02", "--columnar", "--batch-rows", "32",
+        )
+        assert "columnar dataplane (batch_rows=32)" in output
+
 
 class TestSimulateCommand:
     def test_table5_config(self):
