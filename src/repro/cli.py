@@ -13,8 +13,12 @@ Usage::
         --trace-format chrome --metrics --drift  # observability
     python -m repro exchange MF LF --plan-cache --sessions 4 \
         # brokered concurrent sessions sharing one negotiated plan
+    python -m repro exchange MF LF --transport tcp \
+        # ship every byte over a real loopback socket
     python -m repro wsdl LF                  # the registration document
     python -m repro simulate --ratio 1/5     # a Table 5 configuration
+    python -m repro serve --duration 60      # live SOAP/HTTP service tier
+    python -m repro loadgen --sessions 100   # concurrent load harness
 
 Workload selectors: ``MF``/``LF`` (the XMark fragmentations of
 Section 5) and ``S``/``T``/``DOC`` (the Section 1.1 customer scenario;
@@ -27,6 +31,7 @@ import argparse
 import itertools
 import random
 import sys
+import time
 from typing import Sequence, TextIO
 
 from repro.core.cost.estimates import StatisticsCatalog
@@ -38,7 +43,13 @@ from repro.core.program.builder import build_transfer_program
 from repro.core.program.render import summary, to_dot, to_text
 from repro.core.stream import DEFAULT_BATCH_ROWS
 from repro.net.faults import FaultPlan, RetryPolicy
-from repro.net.transport import SimulatedChannel
+from repro.net.loadgen import run_load
+from repro.net.server import ExchangeServer, FeedSink
+from repro.net.transport import (
+    SimulatedChannel,
+    TcpTransport,
+    Transport,
+)
 from repro.obs import (
     MetricsRegistry,
     Tracer,
@@ -185,154 +196,248 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         retry_policy = RetryPolicy(max_attempts=attempts)
     tracer = Tracer() if (args.trace or args.drift) else None
     metrics = MetricsRegistry() if args.metrics else None
-    source_frag, target_frag = _resolve_pair(args.source, args.target)
-    document = generate_xmark_document(
-        scaled_bytes(args.size, scale=args.scale), seed=args.seed
-    )
-    source = RelationalEndpoint("source", source_frag)
-    source.load_document(document)
-    if args.sessions > 1 or args.plan_cache:
-        model = CostModel(
-            StatisticsCatalog.synthetic(source_frag.schema)
+    sink = FeedSink().start() if args.transport == "tcp" else None
+    transports: list[Transport] = []
+
+    def make_channel() -> Transport:
+        """One private channel per session over the chosen
+        transport (tcp opens its own loopback socket)."""
+        if sink is None:
+            return SimulatedChannel()
+        transport = TcpTransport.connect(sink.host, sink.port)
+        transports.append(transport)
+        return transport
+
+    try:
+        source_frag, target_frag = _resolve_pair(args.source, args.target)
+        document = generate_xmark_document(
+            scaled_bytes(args.size, scale=args.scale), seed=args.seed
         )
-        agency = DiscoveryAgency(source_frag.schema)
-        agency.register("source", source_frag, source)
-        agency.register("target", target_frag)
-        if args.plan_cache and metrics is None:
-            metrics = MetricsRegistry()
-        cache = PlanCache(metrics=metrics) if args.plan_cache else None
-        plan = agency.negotiate(
-            "source", "target", probe=model, plan_cache=cache,
-            plan_knobs={
-                "parallel_workers": args.workers,
-                "batch_rows": args.batch_rows,
-                "columnar": args.columnar,
-            },
-            metrics=metrics,
-        )
-        program, placement = plan.program, plan.placement
-        ids = itertools.count()
-        broker = ExchangeBroker(
-            agency,
-            plan_cache=cache,
-            max_workers=min(args.sessions, 4),
-            probe=model,
-            parallel_workers=args.workers,
-            batch_rows=args.batch_rows,
-            columnar=args.columnar,
+        source = RelationalEndpoint("source", source_frag)
+        source.load_document(document)
+        if args.sessions > 1 or args.plan_cache:
+            model = CostModel(
+                StatisticsCatalog.synthetic(source_frag.schema)
+            )
+            agency = DiscoveryAgency(source_frag.schema)
+            agency.register("source", source_frag, source)
+            agency.register("target", target_frag)
+            if args.plan_cache and metrics is None:
+                metrics = MetricsRegistry()
+            cache = PlanCache(metrics=metrics) if args.plan_cache else None
+            plan = agency.negotiate(
+                "source", "target", probe=model, plan_cache=cache,
+                plan_knobs={
+                    "parallel_workers": args.workers,
+                    "batch_rows": args.batch_rows,
+                    "columnar": args.columnar,
+                },
+                metrics=metrics,
+            )
+            program, placement = plan.program, plan.placement
+            ids = itertools.count()
+            broker = ExchangeBroker(
+                agency,
+                plan_cache=cache,
+                channel_factory=make_channel,
+                max_workers=min(args.sessions, 4),
+                probe=model,
+                parallel_workers=args.workers,
+                batch_rows=args.batch_rows,
+                columnar=args.columnar,
+                retry_policy=retry_policy,
+                fault_plan=fault_plan,
+                metrics=metrics,
+                tracer=tracer,
+            )
+            with broker:
+                sessions = broker.run([
+                    ("source", "target", lambda: RelationalEndpoint(
+                        f"de-target-{next(ids)}", target_frag
+                    ))
+                ] * args.sessions)
+            de = sessions[0].outcome
+            de_target = sessions[0].target
+            print(format_table(
+                ["session", "cached", "negotiate", "exchange", "TOTAL"],
+                [
+                    [session.session_id,
+                     "yes" if session.cached else "no",
+                     session.negotiation_seconds,
+                     session.outcome.total_seconds,
+                     session.total_seconds]
+                    for session in sessions
+                ],
+                title=f"{args.sessions} brokered session(s), plan cache "
+                      f"{'on' if cache is not None else 'off'}",
+            ), file=out)
+            if cache is not None:
+                stats = cache.stats()
+                print(
+                    f"plan cache: {stats['hits']} hits, "
+                    f"{stats['misses']} misses, "
+                    f"{stats['evictions']} evictions; optimizer ran "
+                    f"{int(metrics.counter('optimizer.runs').value)} "
+                    f"time(s) across "
+                    f"{args.sessions + 1} negotiation(s)",
+                    file=out,
+                )
+        else:
+            program = build_transfer_program(
+                derive_mapping(source_frag, target_frag)
+            )
+            placement = source_heavy_placement(program)
+            de_target = RelationalEndpoint("de-target", target_frag)
+            de = run_optimized_exchange(
+                program, placement, source, de_target, make_channel(),
+                f"{args.source}->{args.target}",
+                parallel_workers=args.workers,
+                batch_rows=args.batch_rows,
+                columnar=args.columnar,
+                retry_policy=retry_policy,
+                fault_plan=fault_plan,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        pm_target = RelationalEndpoint("pm-target", target_frag)
+        pm = run_publish_and_map(
+            source, pm_target, make_channel(),
+            f"{args.source}->{args.target}",
             retry_policy=retry_policy,
             fault_plan=fault_plan,
-            metrics=metrics,
             tracer=tracer,
         )
-        with broker:
-            sessions = broker.run([
-                ("source", "target", lambda: RelationalEndpoint(
-                    f"de-target-{next(ids)}", target_frag
-                ))
-            ] * args.sessions)
-        de = sessions[0].outcome
-        de_target = sessions[0].target
+        rows = [
+            [outcome.method] + [
+                outcome.steps[step] for step in (
+                    "source_processing", "communication", "shredding",
+                    "loading", "indexing",
+                )
+            ] + [outcome.total_seconds]
+            for outcome in (de, pm)
+        ]
         print(format_table(
-            ["session", "cached", "negotiate", "exchange", "TOTAL"],
-            [
-                [session.session_id,
-                 "yes" if session.cached else "no",
-                 session.negotiation_seconds,
-                 session.outcome.total_seconds,
-                 session.total_seconds]
-                for session in sessions
-            ],
-            title=f"{args.sessions} brokered session(s), plan cache "
-                  f"{'on' if cache is not None else 'off'}",
+            ["method", "source", "comm", "shred", "load", "index",
+             "TOTAL"],
+            rows,
+            title=f"{args.source} -> {args.target}, "
+                  f"{args.size} MB x scale {args.scale}",
         ), file=out)
-        if cache is not None:
-            stats = cache.stats()
+        saving = 100 * (1 - de.total_seconds / pm.total_seconds)
+        print(f"optimized exchange saving: {saving:.1f}%", file=out)
+        if args.workers > 1:
             print(
-                f"plan cache: {stats['hits']} hits, "
-                f"{stats['misses']} misses, "
-                f"{stats['evictions']} evictions; optimizer ran "
-                f"{int(metrics.counter('optimizer.runs').value)} "
-                f"time(s) across "
-                f"{args.sessions + 1} negotiation(s)",
+                f"parallel program execution ({args.workers} workers): "
+                f"{de.wall_seconds:.3f}s wall",
                 file=out,
             )
-    else:
-        program = build_transfer_program(
-            derive_mapping(source_frag, target_frag)
-        )
-        placement = source_heavy_placement(program)
-        de_target = RelationalEndpoint("de-target", target_frag)
-        de = run_optimized_exchange(
-            program, placement, source, de_target, SimulatedChannel(),
-            f"{args.source}->{args.target}",
-            parallel_workers=args.workers,
-            batch_rows=args.batch_rows,
-            columnar=args.columnar,
-            retry_policy=retry_policy,
-            fault_plan=fault_plan,
-            tracer=tracer,
-            metrics=metrics,
-        )
-    pm_target = RelationalEndpoint("pm-target", target_frag)
-    pm = run_publish_and_map(
-        source, pm_target, SimulatedChannel(),
-        f"{args.source}->{args.target}",
-        retry_policy=retry_policy,
-        fault_plan=fault_plan,
-        tracer=tracer,
-    )
-    rows = [
-        [outcome.method] + [
-            outcome.steps[step] for step in (
-                "source_processing", "communication", "shredding",
-                "loading", "indexing",
+        if args.batch_rows is not None:
+            dataplane = "columnar" if args.columnar else "streaming"
+            print(
+                f"{dataplane} dataplane (batch_rows={args.batch_rows}): "
+                f"peak {de.peak_resident_rows} resident rows "
+                f"({de.peak_resident_bytes:,} bytes)",
+                file=out,
             )
-        ] + [outcome.total_seconds]
-        for outcome in (de, pm)
-    ]
-    print(format_table(
-        ["method", "source", "comm", "shred", "load", "index",
-         "TOTAL"],
-        rows,
-        title=f"{args.source} -> {args.target}, "
-              f"{args.size} MB x scale {args.scale}",
-    ), file=out)
-    saving = 100 * (1 - de.total_seconds / pm.total_seconds)
-    print(f"optimized exchange saving: {saving:.1f}%", file=out)
-    if args.workers > 1:
+        if fault_plan is not None:
+            print(
+                f"lossy channel ({fault_plan.describe()}): "
+                f"DE injected {de.faults_injected} faults, healed with "
+                f"{de.retries} retries "
+                f"({de.redelivered_batches} duplicates discarded); "
+                f"PM {pm.faults_injected} faults, {pm.retries} retries",
+                file=out,
+            )
+        if args.trace:
+            _export_trace(tracer, args.trace, args.trace_format, out)
+        if args.metrics:
+            print(metrics.render(), file=out)
+        if args.drift:
+            probe = CostModel(StatisticsCatalog.synthetic(source_frag.schema))
+            trace_report = report_from_trace(program, tracer)
+            print(cost_drift_report(
+                program, placement, trace_report, probe
+            ).render(), file=out)
+    finally:
+        for transport in transports:
+            transport.close()
+        if sink is not None:
+            sink.stop()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
+    """Stand up the live service tier: the SOAP-over-HTTP discovery
+    agency + feed endpoints plus the framed-socket feed sink, ready
+    for ``loadgen`` (or any SOAP client) to drive."""
+    if args.duration is not None and args.duration <= 0:
+        raise SystemExit(
+            f"--duration must be positive, got {args.duration}"
+        )
+    schema = xmark_schema()
+    agency = DiscoveryAgency(schema)
+    probe = CostModel(StatisticsCatalog.synthetic(schema))
+    metrics = MetricsRegistry()
+    server = ExchangeServer(
+        agency, host=args.host, http_port=args.http_port,
+        feed_port=args.feed_port, probe=probe, metrics=metrics,
+    )
+    with server:
+        http_host, http_port = server.http_address
+        feed_host, feed_port = server.feed_address
         print(
-            f"parallel program execution ({args.workers} workers): "
-            f"{de.wall_seconds:.3f}s wall",
+            f"control plane: http://{http_host}:{http_port} "
+            "(POST /soap/agency, /soap/feeds)",
             file=out,
         )
-    if args.batch_rows is not None:
-        dataplane = "columnar" if args.columnar else "streaming"
-        print(
-            f"{dataplane} dataplane (batch_rows={args.batch_rows}): "
-            f"peak {de.peak_resident_rows} resident rows "
-            f"({de.peak_resident_bytes:,} bytes)",
-            file=out,
+        print(f"data plane: {feed_host}:{feed_port} "
+              "(length-prefixed SOAP frames)", file=out)
+        if args.duration is not None:
+            print(f"serving for {args.duration:g}s ...", file=out)
+        else:
+            print("serving until interrupted (Ctrl-C) ...", file=out)
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:  # pragma: no cover - interactive mode
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+    print(metrics.render(), file=out)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace, out: TextIO) -> int:
+    """Fire a burst of concurrent broker sessions over real sockets;
+    without ``--host`` an in-process server is self-served."""
+    if args.sessions < 1:
+        raise SystemExit(
+            f"--sessions must be >= 1, got {args.sessions}"
         )
-    if fault_plan is not None:
-        print(
-            f"lossy channel ({fault_plan.describe()}): "
-            f"DE injected {de.faults_injected} faults, healed with "
-            f"{de.retries} retries "
-            f"({de.redelivered_batches} duplicates discarded); "
-            f"PM {pm.faults_injected} faults, {pm.retries} retries",
-            file=out,
+    if args.workers < 1:
+        raise SystemExit(
+            f"--workers must be >= 1, got {args.workers}"
         )
-    if args.trace:
-        _export_trace(tracer, args.trace, args.trace_format, out)
-    if args.metrics:
-        print(metrics.render(), file=out)
-    if args.drift:
-        probe = CostModel(StatisticsCatalog.synthetic(source_frag.schema))
-        trace_report = report_from_trace(program, tracer)
-        print(cost_drift_report(
-            program, placement, trace_report, probe
-        ).render(), file=out)
+    report = run_load(
+        sessions=args.sessions,
+        workers=args.workers,
+        host=args.host,
+        http_port=args.http_port,
+        feed_port=args.feed_port,
+        document_bytes=scaled_bytes(args.size, scale=args.scale),
+        seed=args.seed,
+        batch_rows=args.batch_rows,
+        columnar=args.columnar,
+        out=args.out,
+    )
+    print(report.render(), file=out)
+    if args.out:
+        print(f"report -> {args.out}", file=out)
+    if report.failed:
+        for failure in report.failures:
+            print(f"FAILED: {failure}", file=out)
+        return 1
     return 0
 
 
@@ -479,7 +584,51 @@ def build_parser() -> argparse.ArgumentParser:
              "comp/comm costs vs the measured seconds, per op and "
              "per cross-edge (implies tracing internally)",
     )
+    exchange.add_argument(
+        "--transport", default="sim", choices=("sim", "tcp"),
+        help="channel implementation: the costed simulated channel "
+             "(default) or real loopback TCP sockets into a live "
+             "feed sink (every byte crosses the kernel)",
+    )
     exchange.set_defaults(handler=cmd_exchange)
+
+    serve = commands.add_parser(
+        "serve", help="run the live SOAP-over-HTTP service tier"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--http-port", type=int, default=8080,
+                       help="control-plane port (0 = ephemeral)")
+    serve.add_argument("--feed-port", type=int, default=8081,
+                       help="data-plane port (0 = ephemeral)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for this many seconds, then exit "
+                            "(default: until interrupted)")
+    serve.set_defaults(handler=cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive concurrent broker sessions over real sockets",
+    )
+    loadgen.add_argument("--sessions", type=int, default=100,
+                         help="concurrent exchange sessions to fire")
+    loadgen.add_argument("--workers", type=int, default=8,
+                         help="broker worker threads")
+    loadgen.add_argument("--host", default=None,
+                         help="target a running `serve` instance "
+                              "(default: self-serve in-process)")
+    loadgen.add_argument("--http-port", type=int, default=8080)
+    loadgen.add_argument("--feed-port", type=int, default=8081)
+    loadgen.add_argument("--size", type=float, default=2.0,
+                         help="document size in MB (paper ladder)")
+    loadgen.add_argument("--scale", type=float, default=0.02,
+                         help="fraction of the paper size")
+    loadgen.add_argument("--seed", type=int, default=99)
+    loadgen.add_argument("--batch-rows", type=int, default=None)
+    loadgen.add_argument("--columnar", action="store_true")
+    loadgen.add_argument("--out", default=None, metavar="FILE",
+                         help="write the JSON report here "
+                              "(e.g. BENCH_load.json)")
+    loadgen.set_defaults(handler=cmd_loadgen)
 
     simulate = commands.add_parser(
         "simulate", help="run a Table 5 configuration"
@@ -503,7 +652,16 @@ def main(argv: Sequence[str] | None = None,
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args, out or sys.stdout)
+    try:
+        return args.handler(args, out or sys.stdout)
+    except BrokenPipeError:
+        # Downstream pipe reader (e.g. `| head`) closed early; exit
+        # quietly like any well-behaved Unix filter.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

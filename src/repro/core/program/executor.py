@@ -70,7 +70,12 @@ class DataEndpoint(Protocol):
 
 
 class ShippingChannel(Protocol):
-    """What the executor needs from the network between the systems."""
+    """What the executor needs from the network between the systems.
+
+    Every :class:`~repro.net.transport.Transport` implementation
+    (simulated, in-process, or a real TCP socket) satisfies this
+    protocol; the core stays import-free of :mod:`repro.net`.
+    """
 
     def ship_fragment(self, instance: FragmentInstance) -> "Shipment":
         """Transfer an instance source → target; return the receipt."""

@@ -72,9 +72,9 @@ class ParallelProgramExecutor:
 
     Drop-in alternative to the sequential
     :class:`~repro.core.program.executor.ProgramExecutor`; the channel
-    and both endpoints must be thread-safe (the bundled
-    :class:`~repro.net.transport.SimulatedChannel` and the relational /
-    in-memory endpoints are).
+    and both endpoints must be thread-safe (every bundled
+    :class:`~repro.net.transport.Transport` implementation and the
+    relational / in-memory endpoints are).
     """
 
     def __init__(self, source: DataEndpoint, target: DataEndpoint,

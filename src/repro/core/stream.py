@@ -46,7 +46,7 @@ class RowBatch:
     rows: list[FragmentRow]
     seq: int
     #: Memoized size sums.  Several pipeline stages (residency meter,
-    #: channel charging, shipping accounting) each ask for the size of
+    #: transport charging, shipping accounting) each ask for the size of
     #: the same immutable slice; walking every row's tree per ask is
     #: pure waste.  Operations that mutate rows (Combine) emit a *new*
     #: RowBatch for the result, so a cached value never goes stale.

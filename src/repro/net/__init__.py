@@ -1,13 +1,21 @@
-"""Network substrate: SOAP framing, a simulated transport, and faults.
+"""Network substrate: SOAP framing, pluggable transports, and faults.
 
 The paper deploys its service over SOAP 1.1 / HTTP between two machines
 connected through the Internet; here :mod:`repro.net.soap` provides the
 envelope codec (fragment feeds and whole documents travel as SOAP
 bodies with content checksums and sequence numbers),
-:mod:`repro.net.transport` a channel that charges bytes against a
-configured bandwidth/latency — the measured quantity behind Table 3 —
-and :mod:`repro.net.faults` a deterministic lossy-channel wrapper plus
-the retry/de-duplication/re-ordering layer that heals it.
+:mod:`repro.net.transport` the pluggable :class:`Transport` stack — a
+:class:`SimulatedChannel` that charges bytes against a configured
+bandwidth/latency (the measured quantity behind Table 3), a zero-cost
+:class:`InProcessTransport`, and a :class:`TcpTransport` moving
+length-prefixed envelopes over real sockets — and
+:mod:`repro.net.faults` a deterministic lossy-channel wrapper plus the
+retry/de-duplication/re-ordering layer that heals it.
+
+The service tier lives in :mod:`repro.net.server` (SOAP-over-HTTP
+discovery agency + feed endpoints on real sockets) and
+:mod:`repro.net.loadgen` (the concurrent load harness); both import
+the services layer, so they are deliberately *not* re-exported here.
 """
 
 from repro.net.faults import (
@@ -22,14 +30,31 @@ from repro.net.faults import (
 from repro.net.soap import (
     parse_envelope,
     soap_envelope,
+    soap_fault,
+    unwrap_document,
     unwrap_fragment_feed,
+    verify_fragment_feed,
+    wrap_document,
     wrap_fragment_feed,
 )
-from repro.net.transport import NetworkProfile, SimulatedChannel
+from repro.net.transport import (
+    InProcessTransport,
+    NetworkProfile,
+    SimulatedChannel,
+    TcpTransport,
+    Transport,
+    recv_frame,
+    send_frame,
+)
 
 __all__ = [
     "NetworkProfile",
+    "Transport",
     "SimulatedChannel",
+    "InProcessTransport",
+    "TcpTransport",
+    "send_frame",
+    "recv_frame",
     "FaultKind",
     "FaultPlan",
     "FaultyChannel",
@@ -38,7 +63,11 @@ __all__ = [
     "ReliableBatchLink",
     "RobustnessStats",
     "soap_envelope",
+    "soap_fault",
     "parse_envelope",
     "wrap_fragment_feed",
     "unwrap_fragment_feed",
+    "wrap_document",
+    "unwrap_document",
+    "verify_fragment_feed",
 ]

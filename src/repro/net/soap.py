@@ -39,14 +39,54 @@ def soap_envelope(body: Element) -> str:
     return serialize(envelope, indent=None)
 
 
+def soap_fault(message: str, code: str = "soap:Server") -> str:
+    """A serialized SOAP 1.1 Fault envelope (a service-side error).
+
+    Receivers reply with one of these when a request fails
+    verification; :func:`parse_envelope` on the other side raises the
+    carried message as a :class:`~repro.errors.SoapFault`.
+    """
+    fault = Element("soap:Fault")
+    fault.append(Element("faultcode", text=code))
+    fault.append(Element("faultstring", text=message))
+    return soap_envelope(fault)
+
+
+def _fault_message(payload: Element) -> str:
+    """Extract the human-readable message from a ``Fault`` payload.
+
+    Real-world faults nest: the ``detail`` element may itself carry a
+    ``Fault`` from a downstream hop.  The innermost ``faultstring``
+    wins — it names the root cause — with outer strings appended for
+    context.
+    """
+    strings: list[str] = []
+    node: Element | None = payload
+    while node is not None:
+        fault_string = node.child("faultstring")
+        if fault_string is not None and fault_string.text:
+            strings.append(fault_string.text)
+        detail = node.child("detail")
+        node = detail.child("Fault") if detail is not None else None
+    if not strings:
+        return "fault"
+    # Innermost first: it is the root cause.
+    return ": ".join(reversed(strings))
+
+
 def parse_envelope(text: str) -> Element:
     """Parse a SOAP envelope and return the single body child.
 
     Raises:
-        SoapFault: if the message is not a well-formed SOAP envelope or
-            the body carries a ``Fault``.
+        SoapFault: if the message is not a well-formed SOAP envelope,
+            the body does not carry exactly one element, or it carries
+            a ``Fault`` (whose ``faultstring`` — innermost, for nested
+            faults — becomes the raised message).
     """
-    root = parse_tree(text)
+    try:
+        root = parse_tree(text)
+    except Exception as exc:
+        raise SoapFault(f"message is not well-formed XML: {exc}") from exc
     if root.local_name() != "Envelope":
         raise SoapFault(f"not a SOAP envelope: <{root.name}>")
     body = next(
@@ -58,8 +98,7 @@ def parse_envelope(text: str) -> Element:
         raise SoapFault("SOAP body must contain exactly one element")
     payload = body.children[0]
     if payload.local_name() == "Fault":
-        fault_string = payload.child("faultstring")
-        raise SoapFault(fault_string.text if fault_string else "fault")
+        raise SoapFault(_fault_message(payload))
     return payload
 
 
@@ -106,6 +145,72 @@ def feed_digest(rows: list[Element]) -> str:
     """
     blob = "".join(serialize(row, indent=None) for row in rows)
     return format(zlib.adler32(blob.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def wrap_document(text: str) -> str:
+    """Serialize a whole published document as one SOAP message
+    (publish&map ships the tagged document monolithically).  The
+    document travels as escaped character data with its byte count
+    declared for receiver-side verification."""
+    return soap_envelope(
+        Element("Document", {"bytes": str(len(text))}, text=text)
+    )
+
+
+def unwrap_document(payload: Element) -> str:
+    """Extract the document text from a ``Document`` payload.
+
+    Raises:
+        SoapFault: on a wrong payload or a byte-count mismatch.
+    """
+    if payload.local_name() != "Document":
+        raise SoapFault(f"expected a Document, got <{payload.name}>")
+    text = payload.text
+    declared = payload.get("bytes")
+    if declared is not None and int(declared) != len(text):
+        raise SoapFault(
+            f"document declares {declared} bytes but carries "
+            f"{len(text)}"
+        )
+    return text
+
+
+def verify_fragment_feed(payload: Element) -> tuple[str, int, str]:
+    """Receiver-side structural verification of a ``FragmentFeed``.
+
+    Unlike :func:`unwrap_fragment_feed` this needs no
+    :class:`~repro.core.fragment.Fragment` — a network receiver (the
+    :class:`~repro.net.server.FeedSink`) verifies what it *can* see:
+    payload kind, declared row count, and the Adler-32 content checksum
+    recomputed over the wire rows.  Returns ``(fragment name, row
+    count, recomputed digest)``.
+
+    Raises:
+        SoapFault: on a wrong payload kind, a missing fragment name, a
+            count mismatch, or a checksum mismatch.
+    """
+    if payload.local_name() != "FragmentFeed":
+        raise SoapFault(
+            f"expected a FragmentFeed, got <{payload.name}>"
+        )
+    name = payload.get("fragment")
+    if not name:
+        raise SoapFault("feed names no fragment")
+    digest = feed_digest(payload.children)
+    declared_digest = payload.get(CHECKSUM_ATTR)
+    if declared_digest is not None and declared_digest != digest:
+        raise SoapFault(
+            f"feed of fragment {name!r} failed its checksum "
+            "(message corrupted in flight)"
+        )
+    declared_count = payload.get("count")
+    if declared_count is not None \
+            and int(declared_count) != len(payload.children):
+        raise SoapFault(
+            f"feed declares {declared_count} rows but carries "
+            f"{len(payload.children)}"
+        )
+    return name, len(payload.children), digest
 
 
 def wrap_fragment_feed(instance: FragmentInstance,

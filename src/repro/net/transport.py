@@ -1,19 +1,32 @@
-"""A simulated network channel between the source and target systems.
+"""Pluggable transports between the source and target systems.
 
 The paper's machines were connected through the Internet; Table 3 times
-TCP transfers of fragments and full documents.  The channel charges
-``latency + bytes / bandwidth`` seconds per message and keeps running
-totals.  Two fidelity levels:
+TCP transfers of fragments and full documents.  Everything that ships
+data — the executors, the reliable/faulty channel wrappers, the
+exchange service, the broker, and the simulator — depends only on the
+:class:`Transport` interface defined here, so the wire under an
+exchange is interchangeable:
 
-* the default counts bytes from the instance's estimated size (fast),
-* ``wire_format=True`` actually serializes each fragment feed into its
-  SOAP message and parses it back on the other side — the full encode/
-  ship/decode path (used by integration tests and available to the
-  benchmarks).
+* :class:`SimulatedChannel` charges ``latency + bytes / bandwidth``
+  simulated seconds per message (the reproduction's measured quantity),
+* :class:`InProcessTransport` is the zero-cost degenerate case (bytes
+  are counted, no time is charged — a perfect LAN),
+* :class:`TcpTransport` moves every message over a real socket as a
+  length-prefixed SOAP envelope and measures actual wall seconds — the
+  deployment transport behind :mod:`repro.net.server`.
+
+All three account thread-safely, enforce send-after-close uniformly
+(:class:`~repro.errors.TransportError`), and support the optional
+``wire_format`` fidelity level: each fragment feed is serialized into
+its SOAP message and parsed back on the other side — the full encode/
+ship/decode path (always on for :class:`TcpTransport`, where the wire
+is real).
 """
 
 from __future__ import annotations
 
+import abc
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -22,8 +35,77 @@ from repro.errors import TransportError
 from repro.core.instance import FragmentInstance
 from repro.core.program.executor import Shipment
 from repro.core.stream import RowBatch
-from repro.net.soap import unwrap_fragment_feed, wrap_fragment_feed
+from repro.net.soap import (
+    unwrap_fragment_feed,
+    wrap_document,
+    wrap_fragment_feed,
+)
 from repro.obs.trace import NULL_TRACER, Tracer
+
+#: Frame header: one big-endian unsigned 32-bit payload length.
+FRAME_HEADER_BYTES = 4
+#: Upper bound on one framed message (defensive: a corrupt header must
+#: not make a receiver try to allocate gigabytes).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame to ``sock``.
+
+    Raises:
+        TransportError: if the payload exceeds :data:`MAX_FRAME_BYTES`.
+    """
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    header = len(payload).to_bytes(FRAME_HEADER_BYTES, "big")
+    sock.sendall(header + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes, or ``None`` on a clean EOF at a
+    frame boundary.
+
+    Raises:
+        TransportError: if the connection dies mid-frame.
+    """
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise TransportError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes | None:
+    """Read one length-prefixed frame, or ``None`` on a clean EOF.
+
+    Raises:
+        TransportError: on a truncated frame or an oversized header.
+    """
+    header = _recv_exact(sock, FRAME_HEADER_BYTES)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame header declares {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None and length:
+        raise TransportError("connection closed before frame payload")
+    return payload if payload is not None else b""
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,24 +131,36 @@ class NetworkProfile:
             raise TransportError("latency cannot be negative")
 
 
-class SimulatedChannel:
-    """One-way source → target data channel with byte/time accounting.
+#: A loopback-ish profile for transports whose time is *measured*
+#: rather than charged (cost probes still need a transfer-cost answer).
+LOOPBACK_PROFILE = NetworkProfile(
+    "loopback",
+    bandwidth_bytes_per_second=1_000_000_000.0,
+    latency_seconds=0.0001,
+)
+
+
+class Transport(abc.ABC):
+    """One-way source → target data transport with byte/time accounting.
+
+    This is the interface every shipper in the system depends on —
+    executors ship fragment feeds and stream batches through it, the
+    publish&map pipeline ships whole documents, fault injection and the
+    reliable layer wrap it, the exchange service resets and reads its
+    accounting windows, and cost probes ask it :meth:`transfer_cost`.
 
     Accounting is thread-safe: concurrent shippers (the parallel
     executor pipelines transfers against computation) may charge the
-    channel from multiple threads.  With ``realtime=True`` every send
-    also *sleeps* its simulated transfer time, so a measured wall clock
-    feels the link; concurrent sends sleep concurrently, modelling one
-    transfer stream per in-flight fragment.
+    transport from multiple threads.  Lifecycle is uniform across
+    implementations: :meth:`close` is idempotent and thread-safe, and
+    any send after it raises :class:`~repro.errors.TransportError`.
     """
 
     def __init__(self, profile: NetworkProfile | None = None,
                  wire_format: bool = False,
-                 realtime: bool = False,
                  tracer: Tracer | None = None) -> None:
         self.profile = profile or NetworkProfile()
         self.wire_format = wire_format
-        self.realtime = realtime
         self.tracer = tracer or NULL_TRACER
         self.total_bytes = 0
         self.total_seconds = 0.0
@@ -78,9 +172,28 @@ class SimulatedChannel:
 
     # -- lifecycle --------------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        with self._lock:
+            return self._closed
+
     def close(self) -> None:
-        """Close the channel; further sends raise."""
-        self._closed = True
+        """Close the transport; further sends raise.
+
+        Thread-safe and idempotent: the first call flips the closed
+        flag under the lock and runs :meth:`_on_close` exactly once;
+        later calls are no-ops.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._on_close()
+
+    def _on_close(self) -> None:
+        """Release implementation resources (sockets, …).  Called once,
+        after the closed flag is set."""
 
     def reset(self) -> None:
         """Zero the counters (fresh measurement window)."""
@@ -91,20 +204,44 @@ class SimulatedChannel:
             self.lost_messages = 0
             self.lost_bytes = 0
 
-    def _charge(self, size_bytes: int) -> Shipment:
-        if self._closed:
-            raise TransportError("channel is closed")
-        started = time.perf_counter()
-        seconds = self.transfer_cost(size_bytes)
+    def _ensure_open(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise TransportError(
+                    f"{type(self).__name__} is closed "
+                    "(send after close)"
+                )
+
+    def _account(self, size_bytes: int, seconds: float,
+                 lost: bool = False) -> None:
         with self._lock:
             self.total_bytes += size_bytes
             self.total_seconds += seconds
             self.messages += 1
-        if self.realtime:
-            time.sleep(seconds)
-        # Span duration is the *simulated* transfer time — in realtime
-        # mode that equals the wall time slept; otherwise the wire span
-        # shows what the link charged, not the bookkeeping overhead.
+            if lost:
+                self.lost_messages += 1
+                self.lost_bytes += size_bytes
+
+    # -- cost interface (used by probes) ----------------------------------------
+
+    def transfer_cost(self, size_bytes: float) -> float:
+        """Seconds to move ``size_bytes`` over this link."""
+        return (
+            self.profile.latency_seconds
+            + size_bytes / self.profile.bandwidth_bytes_per_second
+        )
+
+    # -- accounting hooks (used by fault injection) ------------------------------
+
+    def _charge(self, size_bytes: int, lost: bool = False) -> Shipment:
+        """Account one wire transmission of ``size_bytes``, charging
+        :meth:`transfer_cost` seconds.  Raises after :meth:`close`."""
+        self._ensure_open()
+        started = time.perf_counter()
+        seconds = self.transfer_cost(size_bytes)
+        self._account(size_bytes, seconds, lost=lost)
+        # Span duration is the *simulated* transfer time — the wire
+        # span shows what the link charged, not bookkeeping overhead.
         self.tracer.record(
             "wire", "wire", start=started, seconds=seconds,
             bytes=size_bytes,
@@ -120,29 +257,14 @@ class SimulatedChannel:
         like successful ones; without this accounting a lossy run would
         understate its communication cost by every wasted transmission.
         """
-        shipment = self._charge(size_bytes)
-        with self._lock:
-            self.lost_messages += 1
-            self.lost_bytes += size_bytes
-        return shipment
+        return self._charge(size_bytes, lost=True)
 
     def charge_delay(self, seconds: float) -> None:
         """Account extra in-flight time (an injected delivery delay)."""
         with self._lock:
             self.total_seconds += seconds
-        if self.realtime:
-            time.sleep(seconds)
 
-    # -- cost interface (used by probes) ---------------------------------------------
-
-    def transfer_cost(self, size_bytes: float) -> float:
-        """Seconds to move ``size_bytes`` over this link."""
-        return (
-            self.profile.latency_seconds
-            + size_bytes / self.profile.bandwidth_bytes_per_second
-        )
-
-    # -- shipping ----------------------------------------------------------------------
+    # -- shipping ----------------------------------------------------------------
 
     def ship_fragment(self, instance: FragmentInstance) -> Shipment:
         """Ship one fragment feed (cross-edge traffic).
@@ -184,3 +306,182 @@ class SimulatedChannel:
     def ship_document(self, text: str) -> Shipment:
         """Ship a whole published document (publish&map step 3)."""
         return self._charge(len(text))
+
+
+class SimulatedChannel(Transport):
+    """Simulated channel charging ``latency + bytes / bandwidth``.
+
+    Two fidelity levels: the default counts bytes from the instance's
+    estimated size (fast); ``wire_format=True`` actually serializes
+    each fragment feed into its SOAP message and parses it back on the
+    other side.  With ``realtime=True`` every send also *sleeps* its
+    simulated transfer time, so a measured wall clock feels the link;
+    concurrent sends sleep concurrently, modelling one transfer stream
+    per in-flight fragment.
+    """
+
+    def __init__(self, profile: NetworkProfile | None = None,
+                 wire_format: bool = False,
+                 realtime: bool = False,
+                 tracer: Tracer | None = None) -> None:
+        super().__init__(profile, wire_format, tracer)
+        self.realtime = realtime
+
+    def _charge(self, size_bytes: int, lost: bool = False) -> Shipment:
+        shipment = super()._charge(size_bytes, lost=lost)
+        if self.realtime:
+            # In realtime mode the simulated transfer time equals the
+            # wall time slept.
+            time.sleep(shipment.seconds)
+        return shipment
+
+    def charge_delay(self, seconds: float) -> None:
+        super().charge_delay(seconds)
+        if self.realtime:
+            time.sleep(seconds)
+
+
+class InProcessTransport(Transport):
+    """Zero-cost transport: bytes are counted, no time is charged.
+
+    The degenerate perfect-LAN link — what the executors' implicit
+    default channel models, promoted to a full :class:`Transport` so
+    zero-cost runs still get byte accounting, close enforcement, and
+    (optionally) the true SOAP encode/decode path of ``wire_format``.
+    """
+
+    def __init__(self, wire_format: bool = False,
+                 tracer: Tracer | None = None) -> None:
+        super().__init__(LOOPBACK_PROFILE, wire_format, tracer)
+
+    def transfer_cost(self, size_bytes: float) -> float:
+        """An in-process hop is free."""
+        return 0.0
+
+
+class TcpTransport(Transport):
+    """Length-prefixed SOAP envelopes over a real TCP socket.
+
+    Every send frames one SOAP message (4-byte big-endian length +
+    UTF-8 envelope), writes it to the socket, and waits for the
+    receiver's length-prefixed reply — an ``Ack`` envelope carrying the
+    receiver-side verification (fragment name, row count, and the
+    Adler-32 feed checksum the receiver recomputed), or a SOAP
+    ``Fault`` that surfaces here as :class:`~repro.errors.SoapFault`.
+    The peer is a :class:`repro.net.server.FeedSink` (or anything
+    speaking the same framing).
+
+    Accounting is *measured*: ``total_seconds`` accumulates the actual
+    wall time of each round trip and ``total_bytes`` the payload bytes
+    sent.  ``transfer_cost`` (the probes' question) answers from
+    ``profile`` — default :data:`LOOPBACK_PROFILE`.
+
+    Wire format is always on — the wire is real — and, like the
+    simulated wire path, the decoded rows replace the shipped
+    instance's rows so downstream operations consume exactly what
+    crossed the network.  Round trips are serialized per transport
+    (one in-flight message per connection); concurrent sessions get
+    their own connections.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 profile: NetworkProfile | None = None,
+                 tracer: Tracer | None = None) -> None:
+        super().__init__(profile or LOOPBACK_PROFILE, True, tracer)
+        self._sock = sock
+        self._io_lock = threading.Lock()
+        try:
+            self._sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+
+    @classmethod
+    def connect(cls, host: str, port: int, *,
+                timeout: float | None = 10.0,
+                profile: NetworkProfile | None = None,
+                tracer: Tracer | None = None) -> "TcpTransport":
+        """Open a connection to a feed sink at ``host:port``.
+
+        Raises:
+            TransportError: if the connection cannot be established.
+        """
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=timeout)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to feed sink at {host}:{port}: {exc}"
+            ) from exc
+        return cls(sock, profile=profile, tracer=tracer)
+
+    def _on_close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def _roundtrip(self, message: str) -> Shipment:
+        """Send one framed SOAP message, await and verify the reply.
+
+        Raises:
+            TransportError: on socket failure or send-after-close.
+            SoapFault: when the receiver replies with a SOAP Fault
+                (its verification rejected the message).
+        """
+        from repro.net.soap import parse_envelope
+
+        self._ensure_open()
+        payload = message.encode("utf-8")
+        started = time.perf_counter()
+        try:
+            with self._io_lock:
+                send_frame(self._sock, payload)
+                reply = recv_frame(self._sock)
+        except OSError as exc:
+            raise TransportError(
+                f"socket send failed: {exc}"
+            ) from exc
+        if reply is None:
+            raise TransportError(
+                "feed sink closed the connection before replying"
+            )
+        seconds = time.perf_counter() - started
+        self._account(len(payload), seconds)
+        self.tracer.record(
+            "wire", "wire", start=started, seconds=seconds,
+            bytes=len(payload),
+        )
+        # Raises SoapFault when the receiver rejected the message.
+        parse_envelope(reply.decode("utf-8"))
+        return Shipment(len(payload), seconds)
+
+    def _charge(self, size_bytes: int, lost: bool = False) -> Shipment:
+        """Account a transmission that never reaches the socket (the
+        fault injector charging a dropped/duplicated copy): bytes are
+        real, time is the profile's estimate — there was no round trip
+        to measure."""
+        self._ensure_open()
+        seconds = self.transfer_cost(size_bytes)
+        self._account(size_bytes, seconds, lost=lost)
+        return Shipment(size_bytes, seconds)
+
+    def ship_fragment(self, instance: FragmentInstance) -> Shipment:
+        message = wrap_fragment_feed(instance)
+        shipment = self._roundtrip(message)
+        received = unwrap_fragment_feed(message, instance.fragment)
+        instance.rows[:] = received.rows
+        return shipment
+
+    def ship_batch(self, batch: RowBatch) -> Shipment:
+        instance = FragmentInstance(batch.fragment, batch.rows)
+        message = wrap_fragment_feed(instance, seq=batch.seq)
+        shipment = self._roundtrip(message)
+        received = unwrap_fragment_feed(message, batch.fragment)
+        batch.rows[:] = received.rows
+        return shipment
+
+    def ship_document(self, text: str) -> Shipment:
+        return self._roundtrip(wrap_document(text))

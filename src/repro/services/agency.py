@@ -28,7 +28,7 @@ from repro.core.optimizer.search import (
 )
 from repro.core.program.builder import build_transfer_program
 from repro.core.program.dag import Placement, TransferProgram
-from repro.net.transport import SimulatedChannel
+from repro.net.transport import Transport
 from repro.obs.metrics import MetricsRegistry
 from repro.schema.model import SchemaTree
 from repro.services.endpoint import SystemEndpoint
@@ -201,7 +201,7 @@ class DiscoveryAgency:
     def negotiate(self, source_name: str, target_name: str, *,
                   optimizer: str = "greedy",
                   probe: CostProbe | None = None,
-                  channel: SimulatedChannel | None = None,
+                  channel: Transport | None = None,
                   weights: CostWeights | None = None,
                   order_limit: int | None = None,
                   plan_cache: "PlanCache | None" = None,
@@ -294,7 +294,7 @@ class DiscoveryAgency:
 
     def _endpoint_probe(self, source: Registration,
                         target: Registration,
-                        channel: SimulatedChannel | None) -> CostProbe:
+                        channel: Transport | None) -> CostProbe:
         if source.endpoint is None or target.endpoint is None:
             raise NegotiationError(
                 "negotiation needs either an explicit probe or two "

@@ -53,7 +53,7 @@ from repro.core.program.serialize import (
     program_from_json,
     program_to_json,
 )
-from repro.net.transport import SimulatedChannel
+from repro.net.transport import SimulatedChannel, Transport
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.schema.model import SchemaTree
@@ -387,7 +387,7 @@ class ExchangeBroker:
                  probe: CostProbe | None = None,
                  weights: CostWeights | None = None,
                  order_limit: int | None = None,
-                 channel_factory: Callable[[], SimulatedChannel]
+                 channel_factory: Callable[[], Transport]
                  = SimulatedChannel,
                  parallel_workers: int = 1,
                  batch_rows: int | None = None,

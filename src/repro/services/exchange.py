@@ -28,7 +28,7 @@ from repro.net.faults import (
     RetryPolicy,
     RobustnessStats,
 )
-from repro.net.transport import SimulatedChannel
+from repro.net.transport import Transport
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.relational.publisher import publish_document
@@ -112,7 +112,7 @@ def run_optimized_exchange(
     placement: Placement,
     source: RelationalEndpoint,
     target: RelationalEndpoint,
-    channel: SimulatedChannel,
+    channel: Transport,
     scenario: str = "exchange",
     parallel_workers: int = 1,
     batch_rows: int | None = None,
@@ -226,7 +226,7 @@ def run_optimized_exchange(
 def run_publish_and_map(
     source: RelationalEndpoint,
     target: RelationalEndpoint,
-    channel: SimulatedChannel,
+    channel: Transport,
     scenario: str = "exchange",
     retry_policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,

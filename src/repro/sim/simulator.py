@@ -136,6 +136,36 @@ class ExchangeSimulator:
         # the major factor").
         self.bandwidth = bandwidth
 
+    @classmethod
+    def for_transport(cls, schema: SchemaTree, transport: object,
+                      statistics: StatisticsCatalog | None = None,
+                      weights: CostWeights | None = None,
+                      tracer: Tracer | None = None
+                      ) -> "ExchangeSimulator":
+        """A simulator pricing communication at ``transport``'s speed.
+
+        ``transport`` is anything carrying a ``profile`` with a
+        ``bandwidth_bytes_per_second`` (every
+        :class:`~repro.net.transport.Transport` does) — duck-typed so
+        the sim layer stays import-free of :mod:`repro.net`.  Feed
+        sizes are bytes, so the resulting ``comm`` component is an
+        estimated transfer time in seconds over that link.
+
+        Raises:
+            ValueError: if ``transport`` exposes no usable profile.
+        """
+        profile = getattr(transport, "profile", None)
+        bandwidth = getattr(
+            profile, "bandwidth_bytes_per_second", None
+        )
+        if not bandwidth:
+            raise ValueError(
+                f"{type(transport).__name__} carries no network "
+                "profile with a bandwidth to price communication from"
+            )
+        return cls(schema, statistics, weights,
+                   bandwidth=float(bandwidth), tracer=tracer)
+
     def model(self, source: MachineProfile,
               target: MachineProfile) -> CostModel:
         """The cost model for one machine configuration."""

@@ -1,0 +1,83 @@
+"""The load generator: percentile math and a small self-served burst
+of concurrent broker sessions against a live server."""
+
+import json
+
+import pytest
+
+from repro.net.loadgen import LoadReport, percentile, run_load
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestPercentile:
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_q_out_of_bounds_raises(self):
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], 101)
+
+    def test_single_value_is_every_percentile(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_exact_ranks_hit_sample_points(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(values, 0) == 10.0
+        assert percentile(values, 25) == 20.0
+        assert percentile(values, 100) == 50.0
+
+    def test_order_does_not_matter(self):
+        assert percentile([3.0, 1.0, 2.0], 95) \
+            == percentile([1.0, 2.0, 3.0], 95)
+
+
+class TestLoadBurst:
+    def test_small_burst_completes_without_failures(self, tmp_path):
+        out = tmp_path / "BENCH_load.json"
+        metrics = MetricsRegistry()
+        report = run_load(
+            sessions=5, workers=3, document_bytes=4_000,
+            out=str(out), metrics=metrics,
+        )
+        assert isinstance(report, LoadReport)
+        assert report.sessions == 5
+        assert report.failed == 0
+        assert report.failures == []
+        assert report.rows_written > 0
+        assert report.comm_bytes > 0
+        assert report.throughput_sessions_per_second > 0
+        # Percentiles are ordered and positive.
+        assert 0 < report.p50_seconds <= report.p95_seconds \
+            <= report.p99_seconds <= report.max_seconds
+        # Warm sessions reuse the negotiated plan.
+        assert report.cache_hits == 4
+
+        payload = json.loads(out.read_text())
+        for key in ("sessions", "failed", "latency_seconds",
+                    "throughput_sessions_per_second", "comm_bytes",
+                    "rows_written_per_session", "plan_cache_hits"):
+            assert key in payload
+        for q in ("p50", "p95", "p99", "mean", "max"):
+            assert q in payload["latency_seconds"]
+        assert payload["transport"] == "tcp"
+
+    def test_render_is_human_readable(self):
+        report = LoadReport(
+            sessions=2, workers=1, failed=0, wall_seconds=0.5,
+            p50_seconds=0.1, p95_seconds=0.2, p99_seconds=0.2,
+            mean_seconds=0.1, max_seconds=0.2,
+            throughput_sessions_per_second=4.0,
+            comm_bytes=1000, rows_written=10, cache_hits=1,
+            document_bytes=4000,
+        )
+        text = report.render()
+        assert "sessions" in text
+        assert "p95" in text

@@ -1,0 +1,269 @@
+"""The service tier: feed sink verification over real sockets, the
+SOAP-over-HTTP agency/feed endpoints, graceful shutdown, metrics."""
+
+import socket
+
+import pytest
+
+from repro.errors import SoapFault, TransportError
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel
+from repro.net.faults import corrupt_soap_message
+from repro.net.server import (
+    ExchangeHttpServer,
+    ExchangeServer,
+    FeedSink,
+    SoapHttpClient,
+)
+from repro.net.soap import (
+    parse_envelope,
+    soap_envelope,
+    wrap_document,
+    wrap_fragment_feed,
+)
+from repro.net.transport import recv_frame, send_frame
+from repro.obs.metrics import MetricsRegistry
+from repro.services.agency import DiscoveryAgency
+from repro.workloads.customer import fragment_customers
+from repro.xmlkit.tree import Element
+
+
+@pytest.fixture
+def feed(customers_s, customer_documents):
+    return fragment_customers(customer_documents, customers_s)["Order"]
+
+
+def raw_call(sink, message: str) -> Element:
+    """One framed request/reply over a raw socket, reply parsed
+    leniently (Fault payloads returned, not raised)."""
+    with socket.create_connection((sink.host, sink.port)) as sock:
+        send_frame(sock, message.encode("utf-8"))
+        reply = recv_frame(sock)
+    assert reply is not None
+    try:
+        return parse_envelope(reply.decode("utf-8"))
+    except SoapFault as fault:
+        return Element("Fault", {"message": str(fault)})
+
+
+class TestFeedSink:
+    def test_feed_ack_carries_verification(self, feed):
+        with FeedSink() as sink:
+            ack = raw_call(sink, wrap_fragment_feed(feed))
+        assert ack.name == "Ack"
+        assert ack.get("of") == "FragmentFeed"
+        assert ack.get("fragment") == "Order"
+        assert int(ack.get("count")) == feed.row_count()
+        assert len(ack.get("checksum")) == 8
+
+    def test_seq_echoed_in_ack(self, feed):
+        with FeedSink() as sink:
+            ack = raw_call(sink, wrap_fragment_feed(feed, seq=7))
+        assert ack.get("seq") == "7"
+
+    def test_document_ack(self):
+        with FeedSink() as sink:
+            ack = raw_call(sink, wrap_document("x" * 321))
+        assert ack.get("of") == "Document"
+        assert ack.get("bytes") == "321"
+
+    def test_corrupted_feed_gets_checksum_fault(self, feed):
+        corrupted = corrupt_soap_message(wrap_fragment_feed(feed))
+        metrics = MetricsRegistry()
+        with FeedSink(metrics=metrics) as sink:
+            reply = raw_call(sink, corrupted)
+        assert reply.name == "Fault"
+        assert "checksum" in reply.get("message")
+        assert metrics.counter("server.faults").value == 1
+
+    def test_multi_child_body_gets_fault(self):
+        message = (
+            '<soap:Envelope xmlns:soap="ns"><soap:Body>'
+            "<A/><B/></soap:Body></soap:Envelope>"
+        )
+        with FeedSink() as sink:
+            reply = raw_call(sink, message)
+        assert reply.name == "Fault"
+        assert "exactly one element" in reply.get("message")
+
+    def test_unreadable_bytes_get_fault(self):
+        with FeedSink() as sink:
+            with socket.create_connection(
+                    (sink.host, sink.port)) as sock:
+                send_frame(sock, b"\xff\xfe not xml \x00")
+                reply = recv_frame(sock)
+        with pytest.raises(SoapFault):
+            parse_envelope(reply.decode("utf-8"))
+
+    def test_unknown_payload_gets_fault(self):
+        with FeedSink() as sink:
+            reply = raw_call(
+                sink, soap_envelope(Element("Mystery"))
+            )
+        assert reply.name == "Fault"
+        assert "Mystery" in reply.get("message")
+
+    def test_connection_serves_many_messages(self, feed):
+        metrics = MetricsRegistry()
+        with FeedSink(metrics=metrics) as sink:
+            with socket.create_connection(
+                    (sink.host, sink.port)) as sock:
+                for _ in range(3):
+                    send_frame(
+                        sock,
+                        wrap_fragment_feed(feed).encode("utf-8"),
+                    )
+                    assert recv_frame(sock) is not None
+        assert metrics.counter("server.connections").value == 1
+        assert metrics.counter("server.messages").value == 3
+        assert metrics.counter("server.rows_in").value \
+            == 3 * feed.row_count()
+
+    def test_stop_is_idempotent_and_graceful(self, feed):
+        metrics = MetricsRegistry()
+        sink = FeedSink(metrics=metrics).start()
+        raw_call(sink, wrap_document("bye"))
+        sink.stop()
+        sink.stop()
+        gauge = metrics.gauge("server.open_connections")
+        assert gauge.value == 0
+        with pytest.raises(OSError):
+            socket.create_connection((sink.host, sink.port),
+                                     timeout=0.2)
+
+    def test_oversized_frame_header_rejected(self):
+        with FeedSink() as sink:
+            with socket.create_connection(
+                    (sink.host, sink.port)) as sock:
+                sock.sendall((2**31).to_bytes(4, "big") + b"xx")
+                # Server drops the connection instead of allocating;
+                # depending on timing the client sees a clean EOF or
+                # a reset (unread bytes pending → RST).
+                try:
+                    reply = recv_frame(sock)
+                except (TransportError, OSError):
+                    reply = None
+                assert reply is None
+
+
+@pytest.fixture
+def customer_agency(customers_schema):
+    return DiscoveryAgency(customers_schema)
+
+
+@pytest.fixture
+def probe(customers_schema):
+    return CostModel(StatisticsCatalog.synthetic(customers_schema))
+
+
+@pytest.fixture
+def wsdl_texts(customers_schema, customers_s, customers_t):
+    scratch = DiscoveryAgency(customers_schema)
+    return {
+        "s": scratch.register("s", customers_s).wsdl_text,
+        "t": scratch.register("t", customers_t).wsdl_text,
+    }
+
+
+class TestHttpControlPlane:
+    def test_register_and_negotiate_round_trip(
+            self, customer_agency, probe, wsdl_texts,
+            customers_schema):
+        metrics = MetricsRegistry()
+        with ExchangeHttpServer(customer_agency, probe=probe,
+                                metrics=metrics) as http:
+            client = SoapHttpClient(http.host, http.port)
+            result = client.register("s", wsdl_texts["s"])
+            assert result.get("name") == "s"
+            assert int(result.get("fragments")) > 0
+            client.register("t", wsdl_texts["t"])
+            program, placement, reply = client.negotiate(
+                "s", "t", customers_schema
+            )
+            program.validate_placement(placement)
+            assert reply.get("optimizer") == "greedy"
+            assert float(reply.get("estimated-cost")) > 0
+        assert metrics.counter("server.http.negotiations").value == 1
+
+    def test_negotiate_unknown_system_is_fault(
+            self, customer_agency, probe, customers_schema):
+        with ExchangeHttpServer(customer_agency, probe=probe) as http:
+            client = SoapHttpClient(http.host, http.port)
+            with pytest.raises(SoapFault, match="ghost"):
+                client.negotiate("ghost", "t", customers_schema)
+
+    def test_negotiate_without_probe_is_fault(
+            self, customer_agency, wsdl_texts, customers_schema):
+        with ExchangeHttpServer(customer_agency) as http:
+            client = SoapHttpClient(http.host, http.port)
+            client.register("s", wsdl_texts["s"])
+            client.register("t", wsdl_texts["t"])
+            with pytest.raises(SoapFault, match="probe"):
+                client.negotiate("s", "t", customers_schema)
+
+    def test_double_register_is_fault(self, customer_agency, probe,
+                                      wsdl_texts):
+        with ExchangeHttpServer(customer_agency, probe=probe) as http:
+            client = SoapHttpClient(http.host, http.port)
+            client.register("s", wsdl_texts["s"])
+            with pytest.raises(SoapFault, match="already registered"):
+                client.register("s", wsdl_texts["s"])
+
+    def test_feed_upload_download_round_trip(self, customer_agency,
+                                             feed):
+        with ExchangeHttpServer(customer_agency) as http:
+            client = SoapHttpClient(http.host, http.port)
+            ack = client.upload_feed(feed)
+            assert ack.get("fragment") == "Order"
+            downloaded = client.download_feed(feed.fragment)
+            assert downloaded.row_count() == feed.row_count()
+            assert sorted(r.eid for r in downloaded.rows) \
+                == sorted(r.eid for r in feed.rows)
+
+    def test_download_missing_feed_is_fault(self, customer_agency,
+                                            feed):
+        with ExchangeHttpServer(customer_agency) as http:
+            client = SoapHttpClient(http.host, http.port)
+            with pytest.raises(SoapFault, match="no feed"):
+                client.download_feed(feed.fragment)
+
+    def test_unknown_path_is_fault(self, customer_agency):
+        with ExchangeHttpServer(customer_agency) as http:
+            client = SoapHttpClient(http.host, http.port)
+            with pytest.raises(SoapFault, match="no service"):
+                client.call("/soap/nowhere",
+                            soap_envelope(Element("Ping")))
+
+    def test_malformed_request_is_fault(self, customer_agency):
+        with ExchangeHttpServer(customer_agency) as http:
+            client = SoapHttpClient(http.host, http.port)
+            with pytest.raises(SoapFault, match="well-formed"):
+                client.call("/soap/agency", "<broken")
+
+    def test_client_connection_failure_is_transport_error(self):
+        client = SoapHttpClient("127.0.0.1", 1, timeout=0.2)
+        with pytest.raises(TransportError, match="failed"):
+            client.call("/soap/agency",
+                        soap_envelope(Element("Ping")))
+
+
+class TestExchangeServer:
+    def test_both_planes_share_one_lifecycle(self, customer_agency,
+                                             probe, wsdl_texts, feed):
+        metrics = MetricsRegistry()
+        with ExchangeServer(customer_agency, probe=probe,
+                            metrics=metrics) as server:
+            http_host, http_port = server.http_address
+            client = SoapHttpClient(http_host, http_port)
+            client.register("s", wsdl_texts["s"])
+            raw_call(server.sink, wrap_fragment_feed(feed))
+        assert metrics.counter("server.http.requests").value == 1
+        assert metrics.counter("server.messages").value == 1
+        # Both planes refuse connections after stop.
+        with pytest.raises(OSError):
+            socket.create_connection(server.feed_address, timeout=0.2)
+
+    def test_stop_is_idempotent(self, customer_agency):
+        server = ExchangeServer(customer_agency).start()
+        server.stop()
+        server.stop()

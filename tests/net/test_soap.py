@@ -7,7 +7,11 @@ from repro.core.fragment import Fragment
 from repro.net.soap import (
     parse_envelope,
     soap_envelope,
+    soap_fault,
+    unwrap_document,
     unwrap_fragment_feed,
+    verify_fragment_feed,
+    wrap_document,
     wrap_fragment_feed,
 )
 from repro.workloads.customer import fragment_customers
@@ -134,3 +138,93 @@ class TestFeedIntegrity:
 
     def test_unsequenced_message_has_no_seq(self, order_feed):
         assert 'seq="' not in wrap_fragment_feed(order_feed)
+
+
+class TestEnvelopeErrorPaths:
+    def test_multi_child_body_rejected(self):
+        text = (
+            '<soap:Envelope xmlns:soap="ns"><soap:Body>'
+            "<First/><Second/></soap:Body></soap:Envelope>"
+        )
+        with pytest.raises(SoapFault, match="exactly one element"):
+            parse_envelope(text)
+
+    def test_unparseable_text_rejected(self):
+        with pytest.raises(SoapFault, match="well-formed"):
+            parse_envelope("<broken")
+
+    def test_soap_fault_round_trip(self):
+        with pytest.raises(SoapFault, match="no such feed"):
+            parse_envelope(soap_fault("no such feed"))
+
+    def test_nested_fault_reports_root_cause_first(self):
+        """A downstream hop's Fault rides in the detail element; its
+        faultstring is the root cause and must lead the message."""
+        inner = Element("Fault")
+        inner.append(Element("faultstring", text="disk full"))
+        detail = Element("detail")
+        detail.append(inner)
+        outer = Element("soap:Fault")
+        outer.append(Element("faultstring", text="upstream failed"))
+        outer.append(detail)
+        with pytest.raises(SoapFault,
+                           match="disk full: upstream failed"):
+            parse_envelope(soap_envelope(outer))
+
+    def test_fault_without_faultstring_still_raises(self):
+        with pytest.raises(SoapFault, match="fault"):
+            parse_envelope(soap_envelope(Element("soap:Fault")))
+
+
+class TestDocumentWrapper:
+    def test_round_trip(self):
+        text = "<Site><Item money='3.50'/></Site>"
+        payload = parse_envelope(wrap_document(text))
+        assert unwrap_document(payload) == text
+
+    def test_wrong_payload_rejected(self):
+        with pytest.raises(SoapFault, match="expected a Document"):
+            unwrap_document(Element("FragmentFeed"))
+
+    def test_byte_count_mismatch_rejected(self):
+        payload = Element("Document", {"bytes": "999"}, text="tiny")
+        with pytest.raises(SoapFault, match="999 bytes"):
+            unwrap_document(payload)
+
+
+class TestVerifyFragmentFeed:
+    @pytest.fixture
+    def order_payload(self, customers_s, customer_documents):
+        feed = fragment_customers(customer_documents, customers_s)[
+            "Line_Feature"
+        ]
+        return parse_envelope(wrap_fragment_feed(feed))
+
+    def test_returns_name_count_digest(self, order_payload):
+        name, count, digest = verify_fragment_feed(order_payload)
+        assert name == "Line_Feature"
+        assert count == len(order_payload.children)
+        assert digest == order_payload.get("checksum")
+
+    def test_wrong_payload_kind_rejected(self):
+        with pytest.raises(SoapFault, match="expected a FragmentFeed"):
+            verify_fragment_feed(Element("Document"))
+
+    def test_missing_fragment_name_rejected(self):
+        with pytest.raises(SoapFault, match="names no fragment"):
+            verify_fragment_feed(Element("FragmentFeed"))
+
+    def test_checksum_mismatch_rejected(self, order_payload):
+        order_payload.attrs["checksum"] = "00000000"
+        with pytest.raises(SoapFault, match="checksum"):
+            verify_fragment_feed(order_payload)
+
+    def test_count_mismatch_rejected(self, order_payload):
+        order_payload.children.pop()
+        # Recompute the digest so only the count is wrong.
+        from repro.net.soap import feed_digest
+        order_payload.attrs["checksum"] = feed_digest(
+            order_payload.children
+        )
+        with pytest.raises(SoapFault, match="declares"):
+            verify_fragment_feed(order_payload)

@@ -231,3 +231,27 @@ class TestLossyCosts:
         assert delay_only.exchange.communication == pytest.approx(
             clean.exchange.communication
         )
+
+
+class TestForTransport:
+    """The simulator prices communication from whatever network
+    profile the live transport carries — sim layer stays net-free."""
+
+    def test_prices_from_transport_profile(self):
+        from repro.net.transport import LOOPBACK_PROFILE, SimulatedChannel
+
+        schema = balanced_schema(2, 4, seed=5)
+        channel = SimulatedChannel()
+        simulator = ExchangeSimulator.for_transport(schema, channel)
+        assert simulator.bandwidth \
+            == channel.profile.bandwidth_bytes_per_second
+
+        fast = SimulatedChannel(profile=LOOPBACK_PROFILE)
+        faster = ExchangeSimulator.for_transport(schema, fast)
+        assert faster.bandwidth \
+            == LOOPBACK_PROFILE.bandwidth_bytes_per_second
+
+    def test_profile_less_transport_rejected(self):
+        schema = balanced_schema(2, 4, seed=5)
+        with pytest.raises(ValueError, match="profile"):
+            ExchangeSimulator.for_transport(schema, object())

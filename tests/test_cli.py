@@ -197,3 +197,46 @@ class TestTraceFlags:
         )
         lines = path.read_text().strip().splitlines()
         assert {json.loads(line)["cat"] for line in lines} == {"sim"}
+
+
+class TestServiceTier:
+    def test_exchange_over_tcp_transport(self):
+        output = run_cli(
+            "exchange", "MF", "LF", "--transport", "tcp",
+            "--size", "1.0", "--scale", "0.02",
+        )
+        assert "DE" in output and "PM" in output
+
+    def test_brokered_tcp_sessions(self):
+        output = run_cli(
+            "exchange", "MF", "LF", "--transport", "tcp",
+            "--sessions", "2", "--size", "1.0", "--scale", "0.02",
+        )
+        assert "brokered session(s)" in output
+
+    def test_serve_smoke(self):
+        output = run_cli(
+            "serve", "--http-port", "0", "--feed-port", "0",
+            "--duration", "0.2",
+        )
+        assert "control plane: http://" in output
+        assert "data plane:" in output
+
+    def test_serve_rejects_bad_duration(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--duration", "0"], io.StringIO())
+
+    def test_loadgen_smoke(self, tmp_path):
+        out_file = tmp_path / "BENCH_load.json"
+        output = run_cli(
+            "loadgen", "--sessions", "3", "--workers", "3",
+            "--size", "0.5", "--scale", "0.02",
+            "--out", str(out_file),
+        )
+        assert "p95" in output
+        assert "failed      0" in output
+        assert out_file.exists()
+
+    def test_loadgen_rejects_bad_sessions(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--sessions", "0"], io.StringIO())
