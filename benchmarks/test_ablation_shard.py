@@ -1,0 +1,170 @@
+"""Ablation — shard scaling of the scatter/gather coordinator.
+
+Runs the Figure 9 MF->LF scenario through the sharded federated
+exchange at K in {1, 2, 4, 8} over a *realtime* simulated link (the
+channel sleeps its transfer time, one stream per in-flight fragment),
+so the measured wall clock feels the wire.  Each shard session ships
+its exclusive grain rows plus the replicated spine; the K broker
+sessions sleep their transfers concurrently, so wall clock should
+fall roughly as Amdahl-over-the-spine predicts (the spine is the
+serial fraction every shard re-ships).
+
+Acceptance bounds, from the PR issue:
+
+* K=4 reaches >= 1.5x the K=1 wall clock;
+* every K leaves the published target byte-identical to the plain
+  unsharded exchange.
+
+The measured sweep is written to ``BENCH_shard.json`` at the repo
+root (committed: the scaling trajectory across PRs).
+"""
+
+import json
+import pathlib
+import threading
+import time
+
+import pytest
+
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel
+from repro.net.transport import NetworkProfile, SimulatedChannel
+from repro.relational.publisher import publish_document
+from repro.services.agency import DiscoveryAgency
+from repro.services.broker import PlanCache
+from repro.services.endpoint import RelationalEndpoint
+from repro.services.exchange import run_optimized_exchange
+from repro.services.shard import ScatterGatherCoordinator, ShardingSpec
+
+_SHARD_COUNTS = (1, 2, 4, 8)
+_SPEEDUP_FLOOR = 1.5
+# Slow enough that transfer sleeps dominate compute at 2% scale; the
+# shape (not the absolute seconds) is the measurement.
+_LINK = NetworkProfile(
+    "shard-bench", bandwidth_bytes_per_second=200_000.0,
+    latency_seconds=0.002,
+)
+_RESULTS: dict[int, dict[str, object]] = {}
+_DOCS: dict[int, object] = {}
+
+
+@pytest.fixture(scope="module")
+def model(schema):
+    return CostModel(StatisticsCatalog.synthetic(schema))
+
+
+@pytest.fixture(scope="module")
+def shard_agency(schema, fragmentations, sources, size_labels):
+    agency = DiscoveryAgency(schema)
+    agency.register(
+        "MF", fragmentations["MF"],
+        sources[("MF", size_labels[-1])],
+    )
+    agency.register("LF", fragmentations["LF"])
+    return agency
+
+
+@pytest.fixture(scope="module")
+def reference(shard_agency, fragmentations, model):
+    """The unsharded answer over a zero-cost channel."""
+    plan = shard_agency.negotiate("MF", "LF", probe=model)
+    target = RelationalEndpoint("ref-LF", fragmentations["LF"])
+    run_optimized_exchange(
+        plan.annotate(), plan.placement,
+        shard_agency.registration("MF").endpoint, target,
+        SimulatedChannel(),
+    )
+    return publish_document(target.db, target.mapper).document
+
+
+def _factory(fragmentation):
+    lock = threading.Lock()
+
+    def make(index):
+        with lock:
+            return RelationalEndpoint(f"bench-T{index}", fragmentation)
+
+    return make
+
+
+@pytest.mark.parametrize("shards", _SHARD_COUNTS)
+def test_shard_scaling_sweep(benchmark, shards, shard_agency,
+                             fragmentations, model, results):
+    coordinator = ScatterGatherCoordinator(
+        shard_agency, ShardingSpec(shards),
+        probe=model, plan_cache=PlanCache(),
+        channel_factory=lambda: SimulatedChannel(_LINK, realtime=True),
+    )
+
+    def run():
+        started = time.perf_counter()
+        outcome = coordinator.run(
+            "MF", "LF", _factory(fragmentations["LF"])
+        )
+        return outcome, time.perf_counter() - started
+
+    outcome, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not outcome.faults
+    assert outcome.merged_rows > 0
+    assert outcome.cached_sessions == shards - 1
+
+    _DOCS[shards] = publish_document(
+        outcome.merged_target.db, outcome.merged_target.mapper
+    ).document
+    _RESULTS[shards] = {
+        "shards": shards,
+        "strategy": "key-range",
+        "wall_seconds": round(wall, 4),
+        "exchange_seconds": round(outcome.exchange_seconds, 4),
+        "gather_seconds": round(outcome.gather_seconds, 4),
+        "comm_bytes": outcome.comm_bytes,
+        "rows_written": outcome.rows_written,
+        "duplicate_rows": outcome.duplicate_rows,
+        "rows_per_second": round(outcome.rows_written / wall, 1),
+    }
+    results.record(
+        "ablation-shard", f"K={shards}", "wall s", round(wall, 3),
+        title="Ablation: shard scaling (Figure 9 MF->LF, realtime "
+              "200 KB/s link, scatter/gather coordinator)",
+    )
+    results.record("ablation-shard", f"K={shards}", "comm bytes",
+                   outcome.comm_bytes)
+
+
+def test_shard_speedup_and_trajectory_file(reference, results):
+    if len(_RESULTS) < len(_SHARD_COUNTS):
+        pytest.skip("run the sweep first")
+
+    # Byte-identity: every shard count publishes the unsharded answer.
+    for shards, document in _DOCS.items():
+        assert document == reference, f"K={shards} diverged"
+
+    base = _RESULTS[1]["wall_seconds"]
+    speedups = {}
+    for shards in _SHARD_COUNTS:
+        speedup = base / _RESULTS[shards]["wall_seconds"]
+        speedups[f"K={shards}"] = round(speedup, 2)
+        results.record("ablation-shard", f"K={shards}", "speedup",
+                       f"{speedup:.2f}x")
+    assert speedups["K=4"] >= _SPEEDUP_FLOOR, speedups
+
+    # Spine replication is the price: total bytes grow with K, while
+    # the wall clock falls — exactly the Amdahl-over-the-spine trade.
+    assert _RESULTS[8]["comm_bytes"] >= _RESULTS[1]["comm_bytes"]
+
+    out = pathlib.Path(__file__).resolve().parent.parent \
+        / "BENCH_shard.json"
+    payload = {
+        "experiment": "shard-scaling",
+        "scenario": "MF->LF",
+        "document": "25MB ladder entry x REPRO_SCALE",
+        "channel": "simulated realtime, 200 KB/s, 2 ms latency",
+        "speedup_floor": _SPEEDUP_FLOOR,
+        "speedups": speedups,
+        "sweep": {str(k): v for k, v in sorted(_RESULTS.items())},
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    results.note(
+        "ablation-shard",
+        f"trajectory written to {out.name}",
+    )

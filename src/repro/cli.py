@@ -154,6 +154,108 @@ def _export_trace(tracer: Tracer, path: str, trace_format: str,
     print(f"trace: {count} spans -> {path} ({trace_format})", file=out)
 
 
+def _run_sharded_exchange(args: argparse.Namespace, out: TextIO,
+                          source_frag: Fragmentation,
+                          target_frag: Fragmentation,
+                          source: RelationalEndpoint,
+                          make_channel, retry_policy, fault_plan,
+                          tracer, metrics) -> int:
+    """The ``--shards K`` path: scatter over K broker sessions, gather
+    one merged target, and verify byte-identity against a direct
+    unsharded run.  Returns a non-zero exit code on divergence."""
+    from repro.relational.publisher import publish_document
+    from repro.services.shard import (
+        ScatterGatherCoordinator,
+        ShardingSpec,
+    )
+
+    model = CostModel(StatisticsCatalog.synthetic(source_frag.schema))
+    agency = DiscoveryAgency(source_frag.schema)
+    agency.register("source", source_frag, source)
+    agency.register("target", target_frag)
+    coordinator = ScatterGatherCoordinator(
+        agency, ShardingSpec(args.shards, args.shard_by),
+        probe=model,
+        plan_cache=PlanCache(metrics=metrics),
+        channel_factory=make_channel,
+        parallel_workers=args.workers,
+        batch_rows=args.batch_rows,
+        columnar=args.columnar,
+        retry_policy=retry_policy,
+        fault_plans=(
+            {index: fault_plan for index in range(args.shards)}
+            if fault_plan is not None else None
+        ),
+        metrics=metrics,
+        tracer=tracer,
+    )
+    outcome = coordinator.run(
+        "source", "target",
+        lambda index: RelationalEndpoint(
+            f"shard-target-{index}" if index >= 0
+            else "gathered-target",
+            target_frag,
+        ),
+        scenario=f"{args.source}->{args.target}",
+    )
+
+    # The unsharded reference (simulated channel: identity is about
+    # bytes written, not about which wire carried them).
+    program = build_transfer_program(
+        derive_mapping(source_frag, target_frag)
+    )
+    reference_target = RelationalEndpoint(
+        "reference-target", target_frag
+    )
+    run_optimized_exchange(
+        program, source_heavy_placement(program), source,
+        reference_target, SimulatedChannel(),
+        f"{args.source}->{args.target}",
+        parallel_workers=args.workers,
+        batch_rows=args.batch_rows,
+        columnar=args.columnar,
+    )
+    identical = publish_document(
+        outcome.merged_target.db, outcome.merged_target.mapper
+    ).document == publish_document(
+        reference_target.db, reference_target.mapper
+    ).document
+
+    print(format_table(
+        ["shard", "cached", "rows", "bytes", "seconds"],
+        [
+            [index,
+             "-" if session is None
+             else ("yes" if session.cached else "no"),
+             "-" if session is None
+             else session.outcome.rows_written,
+             outcome.per_shard_comm_bytes[index],
+             "-" if session is None else session.total_seconds]
+            for index, session in enumerate(outcome.sessions)
+        ],
+        title=f"{args.shards} shard session(s) by {args.shard_by}, "
+              f"grains {', '.join(outcome.grains)}",
+    ), file=out)
+    print(
+        f"gathered {outcome.merged_rows} rows "
+        f"({outcome.duplicate_rows} spine duplicates merged away), "
+        f"{outcome.comm_bytes} bytes shipped, "
+        f"scatter {outcome.exchange_seconds:.3f}s + "
+        f"gather {outcome.gather_seconds:.3f}s",
+        file=out,
+    )
+    print(
+        "byte-identity vs unsharded run: "
+        + ("OK" if identical else "MISMATCH"),
+        file=out,
+    )
+    if args.trace:
+        _export_trace(tracer, args.trace, args.trace_format, out)
+    if args.metrics:
+        print(metrics.render(), file=out)
+    return 0 if identical else 1
+
+
 def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
     """Run DE vs publish&map on XMark data; ``--workers N`` executes
     the DE program phase on the N-way parallel executor; ``--sessions
@@ -175,6 +277,13 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
     if args.batch_rows is not None and args.batch_rows < 1:
         raise SystemExit(
             f"--batch-rows must be >= 1, got {args.batch_rows}"
+        )
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1 and (args.sessions > 1 or args.drift):
+        raise SystemExit(
+            "--shards runs its own broker fleet; it does not combine "
+            "with --sessions or --drift"
         )
     if args.columnar and args.batch_rows is None:
         # The columnar dataplane is a streaming dataplane; give it the
@@ -215,6 +324,12 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         )
         source = RelationalEndpoint("source", source_frag)
         source.load_document(document)
+        if args.shards > 1:
+            return _run_sharded_exchange(
+                args, out, source_frag, target_frag, source,
+                make_channel, retry_policy, fault_plan, tracer,
+                metrics,
+            )
         if args.sessions > 1 or args.plan_cache:
             model = CostModel(
                 StatisticsCatalog.synthetic(source_frag.schema)
@@ -589,6 +704,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="channel implementation: the costed simulated channel "
              "(default) or real loopback TCP sockets into a live "
              "feed sink (every byte crosses the kernel)",
+    )
+    exchange.add_argument(
+        "--shards", type=int, default=1,
+        help="scatter the exchange over this many concurrent shard "
+             "sessions and gather one merged target (verified "
+             "byte-identical against the unsharded run; default 1 = "
+             "no sharding)",
+    )
+    exchange.add_argument(
+        "--shard-by", default="key-range",
+        choices=("key-range", "prefix-label"),
+        help="row-to-shard strategy: contiguous element-id ranges or "
+             "Dewey prefix labels dealt round-robin",
     )
     exchange.set_defaults(handler=cmd_exchange)
 

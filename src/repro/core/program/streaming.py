@@ -198,10 +198,15 @@ class StreamingRun:
         started = time.perf_counter()
         if self.journal is not None:
             self.report.resume_count = self.journal.begin_run()
+        # One prefetch thread per cross-edge: a producer occupies its
+        # thread while blocked on its bounded queue, so a smaller pool
+        # deadlocks whenever the running producers feed writes that are
+        # queued behind writes whose own producers never got a thread
+        # (placements with multi-input cross chains hit this).
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-stream",
         ) as compute, ThreadPoolExecutor(
-            max_workers=max(workers, 1),
+            max_workers=max(workers, self._cross_edge_count(), 1),
             thread_name_prefix="repro-prefetch",
         ) as prefetch:
             self._prefetch_pool = prefetch
@@ -221,6 +226,17 @@ class StreamingRun:
         if failure is not None:
             raise failure
         return self._finish(started)
+
+    def _cross_edge_count(self) -> int:
+        """Edges whose producer and consumer are placed apart — each
+        one becomes a :class:`_Prefetch` producer in parallel mode."""
+        count = 0
+        for node in self.program.nodes:
+            location = self.placement[node.op_id]
+            for edge in self.program.in_edges(node):
+                if self.placement[edge.producer.op_id] is not location:
+                    count += 1
+        return count
 
     def _finish(self, started: float) -> ExecutionReport:
         if self._leftovers:

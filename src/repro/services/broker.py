@@ -486,7 +486,10 @@ class ExchangeBroker:
     def submit(self, source_name: str, target_name: str,
                target_factory: Callable[[], SystemEndpoint], *,
                scenario: str | None = None,
-               wait: bool = False) -> "Future[ExchangeSession]":
+               wait: bool = False,
+               fault_plan: "FaultPlan | None" = None,
+               retry_policy: "RetryPolicy | None" = None
+               ) -> "Future[ExchangeSession]":
         """Admit one session and schedule it on the worker pool.
 
         ``target_factory`` builds the session's private target endpoint
@@ -494,6 +497,11 @@ class ExchangeBroker:
         interleave their appends; a fresh store per requester is the
         multi-user serving model).  Returns a future resolving to the
         session's :class:`ExchangeSession`.
+
+        ``fault_plan`` / ``retry_policy`` override the broker-wide
+        defaults for this session only — the scatter/gather
+        coordinator uses this to degrade a single shard's channel
+        while its siblings run clean.
 
         Raises:
             BrokerError: if the broker is closed or the source system
@@ -518,6 +526,10 @@ class ExchangeBroker:
                 self._run_session, session_id, source_name,
                 target_name, target_factory,
                 scenario or f"{source_name}->{target_name}",
+                fault_plan if fault_plan is not None
+                else self.fault_plan,
+                retry_policy if retry_policy is not None
+                else self.retry_policy,
             )
         except BaseException:
             self._release()
@@ -539,7 +551,10 @@ class ExchangeBroker:
     def _run_session(self, session_id: int, source_name: str,
                      target_name: str,
                      target_factory: Callable[[], SystemEndpoint],
-                     scenario: str) -> ExchangeSession:
+                     scenario: str,
+                     fault_plan: "FaultPlan | None" = None,
+                     retry_policy: "RetryPolicy | None" = None
+                     ) -> ExchangeSession:
         try:
             with self.tracer.span("broker session", "broker",
                                   session=session_id,
@@ -571,8 +586,8 @@ class ExchangeBroker:
                     parallel_workers=self.parallel_workers,
                     batch_rows=self.batch_rows,
                     columnar=self.columnar,
-                    retry_policy=self.retry_policy,
-                    fault_plan=self.fault_plan,
+                    retry_policy=retry_policy,
+                    fault_plan=fault_plan,
                     tracer=self.tracer,
                     metrics=self.metrics,
                 )

@@ -1,0 +1,228 @@
+"""Agency federation: many discovery agencies, one plan cache.
+
+The paper's Figure 2 has a single discovery agency mediating every
+registration and negotiation; a production deployment spreads that
+control plane over several agencies (the distributed XML-query-network
+architecture in PAPERS.md).  :class:`FederatedAgency` presents the
+same interface as one :class:`~repro.services.agency.DiscoveryAgency`
+— ``register`` / ``register_wsdl`` / ``registration`` / ``negotiate``
+— while routing each system to a *home* member by a stable hash of its
+name.  Negotiation runs on the source's home member; when the target
+lives elsewhere its registration is mirrored on demand.  All members
+share one :class:`~repro.services.broker.PlanCache`, so a plan
+negotiated through any member warms every other (fingerprints do not
+involve agency identity).
+
+``federation.*`` metrics count registrations, routed negotiations and
+mirror copies; spans are emitted under the ``federation`` category.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.errors import NegotiationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.schema.model import SchemaTree
+from repro.services.agency import (
+    DiscoveryAgency,
+    ExchangePlan,
+    Registration,
+)
+from repro.services.endpoint import SystemEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.core.fragmentation import Fragmentation
+    from repro.services.broker import PlanCache
+
+__all__ = ["FederatedAgency"]
+
+
+class FederatedAgency:
+    """Route register/negotiate across member agencies sharing one
+    plan cache.
+
+    Drop-in for a :class:`~repro.services.agency.DiscoveryAgency`
+    wherever one is consumed (the broker, the scatter/gather
+    coordinator, the SOAP server): the consumed surface is duck-typed.
+    """
+
+    def __init__(self, members: Sequence[DiscoveryAgency], *,
+                 plan_cache: "PlanCache | None" = None,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        if not members:
+            raise NegotiationError(
+                "a federation needs at least one member agency"
+            )
+        reference = members[0].schema
+        for member in members[1:]:
+            if not member.schema.structurally_equal(reference):
+                raise NegotiationError(
+                    f"member agency {member.service_name!r} serves a "
+                    "structurally different schema; a federation "
+                    "mediates one agreed schema"
+                )
+        self.members = list(members)
+        self.plan_cache = plan_cache
+        self.metrics = metrics
+        self.tracer = tracer or NULL_TRACER
+        self._homes: dict[str, DiscoveryAgency] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def for_schema(cls, schema: SchemaTree, members: int = 2,
+                   **kwargs: object) -> "FederatedAgency":
+        """A federation of ``members`` fresh agencies over ``schema``."""
+        if members < 1:
+            raise NegotiationError(
+                f"members must be >= 1, got {members}"
+            )
+        return cls(
+            [
+                DiscoveryAgency(schema, f"FederatedAgency-{index}")
+                for index in range(members)
+            ],
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    @property
+    def schema(self) -> SchemaTree:
+        """The agreed schema (member 0's binding of it)."""
+        return self.members[0].schema
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).add(1)
+
+    def route(self, name: str) -> DiscoveryAgency:
+        """The home member of system ``name`` (stable name hash)."""
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        return self.members[
+            int.from_bytes(digest[:4], "big") % len(self.members)
+        ]
+
+    def _lookup(self, name: str) -> tuple[DiscoveryAgency,
+                                          Registration] | None:
+        with self._lock:
+            home = self._homes.get(name)
+        candidates = [home] if home is not None else self.members
+        for member in candidates:
+            try:
+                return member, member.registration(name)
+            except NegotiationError:
+                continue
+        return None
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name: str,
+                 fragmentation: "Fragmentation | None" = None,
+                 endpoint: SystemEndpoint | None = None
+                 ) -> Registration:
+        """Register a system with its home member.
+
+        Raises:
+            NegotiationError: if ``name`` is already registered
+                anywhere in the federation, or the member rejects it.
+        """
+        if self._lookup(name) is not None:
+            raise NegotiationError(
+                f"system {name!r} already registered in the federation"
+            )
+        home = self.route(name)
+        registration = home.register(name, fragmentation, endpoint)
+        with self._lock:
+            self._homes[name] = home
+        self._count("federation.registrations")
+        return registration
+
+    def register_wsdl(self, name: str, wsdl_text: str,
+                      endpoint: SystemEndpoint | None = None
+                      ) -> Registration:
+        """Register from a serialized WSDL document, routed like
+        :meth:`register`."""
+        if self._lookup(name) is not None:
+            raise NegotiationError(
+                f"system {name!r} already registered in the federation"
+            )
+        home = self.route(name)
+        registration = home.register_wsdl(name, wsdl_text, endpoint)
+        with self._lock:
+            self._homes[name] = home
+        self._count("federation.registrations")
+        return registration
+
+    def registration(self, name: str) -> Registration:
+        """Look up ``name`` across the federation.
+
+        Raises:
+            NegotiationError: if no member knows the system.
+        """
+        found = self._lookup(name)
+        if found is None:
+            raise NegotiationError(
+                f"system {name!r} is not registered with any of the "
+                f"{len(self.members)} member agencies"
+            )
+        return found[1]
+
+    def registered_names(self) -> list[str]:
+        """Names registered anywhere in the federation, sorted."""
+        names: set[str] = set()
+        for member in self.members:
+            names.update(member.registered_names())
+        return sorted(names)
+
+    # -- negotiation ----------------------------------------------------------
+
+    def negotiate(self, source_name: str, target_name: str, *,
+                  plan_cache: "PlanCache | None" = None,
+                  metrics: MetricsRegistry | None = None,
+                  **kwargs: object) -> ExchangePlan:
+        """Negotiate on the source's home member, mirroring the target
+        registration there when it lives on another member.
+
+        ``plan_cache`` defaults to the federation-wide cache, so every
+        member negotiates through the same memo; remaining keyword
+        arguments pass through to
+        :meth:`~repro.services.agency.DiscoveryAgency.negotiate`.
+
+        Raises:
+            NegotiationError: for systems unknown to the federation,
+                and whatever the member negotiation raises.
+        """
+        source_found = self._lookup(source_name)
+        if source_found is None:
+            raise NegotiationError(
+                f"system {source_name!r} is not registered with any "
+                f"of the {len(self.members)} member agencies"
+            )
+        coordinator, _ = source_found
+        try:
+            coordinator.registration(target_name)
+        except NegotiationError:
+            target_registration = self.registration(target_name)
+            coordinator.register(
+                target_name,
+                target_registration.fragmentation,
+                target_registration.endpoint,
+            )
+            self._count("federation.mirrored")
+        cache = plan_cache if plan_cache is not None else self.plan_cache
+        with self.tracer.span(
+            "federated negotiate", "federation",
+            member=coordinator.service_name,
+            source=source_name, target=target_name,
+        ):
+            plan = coordinator.negotiate(
+                source_name, target_name,
+                plan_cache=cache,
+                metrics=metrics if metrics is not None else self.metrics,
+                **kwargs,  # type: ignore[arg-type]
+            )
+        self._count("federation.negotiations")
+        return plan

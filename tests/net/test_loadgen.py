@@ -39,7 +39,31 @@ class TestPercentile:
             == percentile([1.0, 2.0, 3.0], 95)
 
 
+class TestLoadArguments:
+    def test_zero_sessions_rejected(self):
+        with pytest.raises(ValueError, match="sessions must be >= 1"):
+            run_load(sessions=0)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            run_load(sessions=1, workers=0)
+
+
 class TestLoadBurst:
+    def test_single_session_burst(self):
+        """The 1-session edge: percentiles collapse onto the one
+        latency, nothing is warm, and the run still verifies."""
+        report = run_load(sessions=1, workers=1,
+                          document_bytes=4_000)
+        assert report.sessions == 1
+        assert report.failed == 0
+        assert report.rows_written > 0
+        assert report.cache_hits == 0
+        assert report.p50_seconds == report.p95_seconds \
+            == report.p99_seconds == report.max_seconds
+        assert report.mean_seconds == report.p50_seconds
+
+
     def test_small_burst_completes_without_failures(self, tmp_path):
         out = tmp_path / "BENCH_load.json"
         metrics = MetricsRegistry()

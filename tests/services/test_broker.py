@@ -178,3 +178,31 @@ class TestAdmissionControl:
             ExchangeBroker(loaded_agency, max_workers=0, probe=model)
         with pytest.raises(ValueError, match="max_pending"):
             ExchangeBroker(loaded_agency, max_pending=0, probe=model)
+
+    def test_empty_batch_is_a_no_op(self, loaded_agency, model):
+        """The 0-session edge: an empty batch admits nothing, touches
+        no counter, and the broker stays usable."""
+        metrics = MetricsRegistry()
+        with ExchangeBroker(loaded_agency, probe=model,
+                            metrics=metrics) as broker:
+            assert broker.run([]) == []
+            assert broker.admitted == 0
+            assert broker.completed == 0
+            assert broker.rejected == 0
+            assert metrics.counter("broker.admitted").value == 0
+
+    def test_single_session_at_minimum_capacity(self, loaded_agency,
+                                                auction_lf, model):
+        """The 1-session edge: max_workers=1, max_pending=1 — exactly
+        one admission, one completion, no rejection."""
+        with ExchangeBroker(loaded_agency, max_workers=1,
+                            max_pending=1, probe=model) as broker:
+            sessions = broker.run([(
+                "src", "tgt",
+                lambda: RelationalEndpoint("solo", auction_lf),
+            )])
+            assert len(sessions) == 1
+            assert sessions[0].outcome.rows_written > 0
+        assert broker.admitted == 1
+        assert broker.completed == 1
+        assert broker.rejected == 0

@@ -1,0 +1,153 @@
+"""Federated agencies: deterministic routing, on-demand mirroring and
+one shared plan cache across members."""
+
+import pytest
+
+from repro.errors import NegotiationError
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel
+from repro.obs.metrics import MetricsRegistry
+from repro.schema.dtd import parse_dtd
+from repro.services.agency import DiscoveryAgency
+from repro.services.broker import PlanCache
+from repro.services.endpoint import RelationalEndpoint
+from repro.services.federation import FederatedAgency
+
+
+@pytest.fixture
+def model(auction_schema):
+    return CostModel(StatisticsCatalog.synthetic(auction_schema))
+
+
+@pytest.fixture
+def federation(auction_schema):
+    return FederatedAgency.for_schema(
+        auction_schema, members=3,
+        plan_cache=PlanCache(), metrics=MetricsRegistry(),
+    )
+
+
+class TestConstruction:
+    def test_needs_members(self):
+        with pytest.raises(NegotiationError, match="at least one"):
+            FederatedAgency([])
+
+    def test_for_schema_floor(self, auction_schema):
+        with pytest.raises(NegotiationError, match=">= 1"):
+            FederatedAgency.for_schema(auction_schema, members=0)
+
+    def test_rejects_structurally_different_schemas(
+            self, auction_schema):
+        other = parse_dtd(
+            "<!ELEMENT root (leaf*)>\n<!ELEMENT leaf (#PCDATA)>"
+        )
+        with pytest.raises(NegotiationError,
+                           match="structurally different"):
+            FederatedAgency([
+                DiscoveryAgency(auction_schema, "A"),
+                DiscoveryAgency(other, "B"),
+            ])
+
+    def test_schema_is_member_zero(self, federation, auction_schema):
+        assert federation.schema is federation.members[0].schema
+
+
+class TestRoutingAndRegistration:
+    def test_route_is_deterministic(self, federation):
+        for name in ("src", "tgt", "alpha", "beta"):
+            homes = {federation.route(name) for _ in range(5)}
+            assert len(homes) == 1
+            assert homes.pop() in federation.members
+
+    def test_register_lands_on_home_member(self, federation,
+                                           auction_mf):
+        registration = federation.register("src", auction_mf)
+        home = federation.route("src")
+        assert home.registration("src") is registration
+        for member in federation.members:
+            if member is not home:
+                with pytest.raises(NegotiationError):
+                    member.registration("src")
+
+    def test_registration_finds_any_member(self, federation,
+                                           auction_mf):
+        federation.register("src", auction_mf)
+        assert federation.registration("src").fragmentation \
+            is auction_mf
+        assert federation.registered_names() == ["src"]
+
+    def test_duplicate_rejected_federation_wide(self, federation,
+                                                auction_mf,
+                                                auction_lf):
+        federation.register("src", auction_mf)
+        with pytest.raises(NegotiationError,
+                           match="already registered"):
+            federation.register("src", auction_lf)
+        # ... even when registered directly on a non-home member.
+        home = federation.route("other")
+        foreign = next(
+            member for member in federation.members
+            if member is not home
+        )
+        foreign.register("other", auction_mf)
+        with pytest.raises(NegotiationError,
+                           match="already registered"):
+            federation.register("other", auction_lf)
+
+    def test_unknown_name_lists_member_count(self, federation):
+        with pytest.raises(NegotiationError, match="3 member"):
+            federation.registration("ghost")
+
+
+class TestFederatedNegotiation:
+    def _load(self, federation, auction_mf, auction_lf,
+              auction_document):
+        source = RelationalEndpoint("S", auction_mf)
+        source.load_document(auction_document)
+        federation.register("src", auction_mf, source)
+        federation.register("tgt", auction_lf)
+
+    def test_negotiate_mirrors_target_to_source_home(
+            self, federation, auction_mf, auction_lf,
+            auction_document, model):
+        self._load(federation, auction_mf, auction_lf,
+                   auction_document)
+        plan = federation.negotiate("src", "tgt", probe=model)
+        assert plan.program is not None
+        home = federation.route("src")
+        # The target registration now exists on the source's home too.
+        assert home.registration("tgt").fragmentation is auction_lf
+        counters = federation.metrics
+        assert counters.counter("federation.negotiations").value == 1
+        if federation.route("tgt") is not home:
+            assert counters.counter("federation.mirrored").value == 1
+
+    def test_shared_cache_spans_members(self, federation, auction_mf,
+                                        auction_lf, auction_document,
+                                        model):
+        """A plan negotiated via any member warms the federation-wide
+        cache: the optimizer runs once for N equivalent exchanges."""
+        self._load(federation, auction_mf, auction_lf,
+                   auction_document)
+        metrics = MetricsRegistry()
+        first = federation.negotiate(
+            "src", "tgt", probe=model, metrics=metrics
+        )
+        # A second pair with identical fragmentations, routed to
+        # whatever homes its names hash to.
+        source2 = RelationalEndpoint("S2", auction_mf)
+        source2.load_document(auction_document)
+        federation.register("src-two", auction_mf, source2)
+        federation.register("tgt-two", auction_lf)
+        second = federation.negotiate(
+            "src-two", "tgt-two", probe=model, metrics=metrics
+        )
+        assert metrics.counter("optimizer.runs").value == 1
+        assert federation.plan_cache.hits >= 1
+        # Same plan shape (op ids are fresh per negotiation).
+        assert (sorted(second.placement.values(), key=repr)
+                == sorted(first.placement.values(), key=repr))
+
+    def test_negotiate_unknown_source(self, federation, model):
+        with pytest.raises(NegotiationError, match="ghost"):
+            federation.negotiate("ghost", "tgt", probe=model)

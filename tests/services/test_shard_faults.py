@@ -1,0 +1,171 @@
+"""Fault matrix for sharded exchange: one shard's channel is lossy,
+its siblings are clean.  With a retry policy the coordinator heals to
+byte-identity; without one it surfaces the fault per shard — strict
+mode raising, lenient mode returning the partial outcome — and never
+corrupts the surviving shards.
+
+Marked ``faults``: tier-1 deselects this module (see pyproject.toml).
+"""
+
+import pytest
+
+from repro.errors import ShardFaultError
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel
+from repro.net.faults import FaultPlan, RetryPolicy
+from repro.relational.publisher import publish_document
+from repro.services.agency import DiscoveryAgency
+from repro.services.broker import PlanCache
+from repro.services.endpoint import RelationalEndpoint
+from repro.services.shard import ScatterGatherCoordinator, ShardingSpec
+
+pytestmark = pytest.mark.faults
+
+LOSSY = FaultPlan(drop=0.10, corrupt=0.05, seed=11)
+SHARDS = 3
+FAULTY = 1
+
+
+@pytest.fixture(scope="module")
+def model(auction_schema):
+    return CostModel(StatisticsCatalog.synthetic(auction_schema))
+
+
+@pytest.fixture(scope="module")
+def loaded_agency(auction_schema, auction_mf, auction_lf,
+                  auction_document):
+    source = RelationalEndpoint("S", auction_mf)
+    source.load_document(auction_document)
+    agency = DiscoveryAgency(auction_schema)
+    agency.register("src", auction_mf, source)
+    agency.register("tgt", auction_lf)
+    return agency
+
+
+@pytest.fixture(scope="module")
+def reference(loaded_agency, auction_lf, model):
+    coordinator = ScatterGatherCoordinator(
+        loaded_agency, ShardingSpec(1), probe=model,
+        plan_cache=PlanCache(),
+    )
+    outcome = coordinator.run(
+        "src", "tgt",
+        lambda index: RelationalEndpoint(f"R{index}", auction_lf),
+    )
+    target = outcome.merged_target
+    return publish_document(target.db, target.mapper).document
+
+
+def _factory(fragmentation):
+    def make(index):
+        return RelationalEndpoint(f"T{index}", fragmentation)
+
+    return make
+
+
+def test_retry_heals_the_faulty_shard(loaded_agency, auction_lf,
+                                      model, reference):
+    coordinator = ScatterGatherCoordinator(
+        loaded_agency, ShardingSpec(SHARDS), probe=model,
+        plan_cache=PlanCache(),
+        fault_plans={FAULTY: LOSSY},
+        retry_policy=RetryPolicy(max_attempts=8,
+                                 sleep=lambda _: None),
+    )
+    outcome = coordinator.run("src", "tgt", _factory(auction_lf))
+    assert not outcome.faults
+    published = publish_document(
+        outcome.merged_target.db, outcome.merged_target.mapper
+    ).document
+    assert published == reference
+
+
+def test_unhealed_fault_is_surfaced_per_shard(loaded_agency,
+                                              auction_lf, model):
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    coordinator = ScatterGatherCoordinator(
+        loaded_agency, ShardingSpec(SHARDS), probe=model,
+        plan_cache=PlanCache(),
+        fault_plans={FAULTY: LOSSY},
+        metrics=metrics,
+    )
+    with pytest.raises(ShardFaultError) as excinfo:
+        coordinator.run("src", "tgt", _factory(auction_lf))
+    error = excinfo.value
+    assert set(error.faults) == {FAULTY}
+    assert metrics.counter("shard.faults").value == 1
+
+    # The partial outcome rides on the exception: the siblings ran to
+    # completion, only the faulty shard is missing.
+    outcome = error.outcome
+    assert outcome is not None
+    assert set(outcome.faults) == {FAULTY}
+    assert outcome.sessions[FAULTY] is None
+    survivors = [
+        session for index, session in enumerate(outcome.sessions)
+        if index != FAULTY
+    ]
+    assert all(session is not None for session in survivors)
+    assert all(
+        session.outcome.rows_written > 0 for session in survivors
+    )
+    assert outcome.per_shard_comm_bytes[FAULTY] == 0
+
+
+def test_lenient_mode_returns_partial_outcome(loaded_agency,
+                                              auction_lf, model,
+                                              reference):
+    coordinator = ScatterGatherCoordinator(
+        loaded_agency, ShardingSpec(SHARDS), probe=model,
+        plan_cache=PlanCache(),
+        fault_plans={FAULTY: LOSSY},
+        strict=False,
+    )
+    outcome = coordinator.run("src", "tgt", _factory(auction_lf))
+    assert set(outcome.faults) == {FAULTY}
+    # The survivors' rows were still gathered — a strict subset of the
+    # unsharded answer, never garbage.
+    assert 0 < outcome.merged_rows
+    published = publish_document(
+        outcome.merged_target.db, outcome.merged_target.mapper
+    ).document
+    assert published != reference  # one shard's grain rows are absent
+
+
+def test_all_shards_faulty_without_retry(loaded_agency, auction_lf,
+                                         model):
+    coordinator = ScatterGatherCoordinator(
+        loaded_agency, ShardingSpec(SHARDS), probe=model,
+        plan_cache=PlanCache(),
+        fault_plans={
+            index: FaultPlan(drop=0.5, seed=100 + index)
+            for index in range(SHARDS)
+        },
+    )
+    with pytest.raises(ShardFaultError) as excinfo:
+        coordinator.run("src", "tgt", _factory(auction_lf))
+    assert set(excinfo.value.faults) == set(range(SHARDS))
+
+
+def test_every_shard_lossy_with_retry_still_heals(loaded_agency,
+                                                  auction_lf, model,
+                                                  reference):
+    coordinator = ScatterGatherCoordinator(
+        loaded_agency, ShardingSpec(SHARDS), probe=model,
+        plan_cache=PlanCache(),
+        fault_plans={
+            index: FaultPlan(drop=0.10, corrupt=0.05,
+                             seed=40 + index)
+            for index in range(SHARDS)
+        },
+        retry_policy=RetryPolicy(max_attempts=8,
+                                 sleep=lambda _: None),
+    )
+    outcome = coordinator.run("src", "tgt", _factory(auction_lf))
+    assert not outcome.faults
+    published = publish_document(
+        outcome.merged_target.db, outcome.merged_target.mapper
+    ).document
+    assert published == reference

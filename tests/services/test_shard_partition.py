@@ -1,0 +1,240 @@
+"""Partitioning properties: every row in exactly one shard, PARENT
+references never crossing a shard boundary, prefix labels that are
+genuine document-ordered prefixes — including skewed inputs and more
+shards than grain occurrences (empty shards)."""
+
+import pytest
+
+from repro.errors import ShardingError
+from repro.core.fragmentation import Fragmentation
+from repro.core.partition import (
+    GrainPlan,
+    assign_shards,
+    partition_instances,
+    prefix_labels,
+    resolve_grains,
+)
+from repro.services.endpoint import RelationalEndpoint
+from repro.workloads.xmark import generate_xmark_document
+
+
+@pytest.fixture(scope="module")
+def instances(auction_mf, auction_document):
+    endpoint = RelationalEndpoint("S", auction_mf)
+    endpoint.load_document(auction_document)
+    return {
+        fragment.name: endpoint.scan(fragment)
+        for fragment in auction_mf
+    }
+
+
+@pytest.fixture(scope="module")
+def plan(auction_mf, auction_lf):
+    return resolve_grains(auction_mf, auction_lf)
+
+
+def _eids(instance):
+    return {row.eid for row in instance.rows}
+
+
+class TestGrainResolution:
+    def test_auto_selects_maximal_repeated_roots(self, plan):
+        assert plan.grains == ("category", "item")
+        assert plan.sharded and plan.spine
+        assert plan.sharded.isdisjoint(plan.spine)
+
+    def test_whole_document_target_cannot_shard(self, auction_schema,
+                                                auction_mf):
+        whole = Fragmentation.whole_document(auction_schema)
+        with pytest.raises(ShardingError, match="no shardable grain"):
+            resolve_grains(auction_mf, whole)
+
+    def test_explicit_grain_with_mixing_target_rejected(
+            self, auction_schema, auction_mf):
+        whole = Fragmentation.whole_document(auction_schema)
+        with pytest.raises(ShardingError, match="mix grain-subtree"):
+            resolve_grains(auction_mf, whole, grains=["item"])
+
+    def test_explicit_grain_must_exist(self, auction_mf, auction_lf):
+        with pytest.raises(ShardingError, match="not in the schema"):
+            resolve_grains(auction_mf, auction_lf, grains=["nope"])
+
+    def test_explicit_grain_must_root_a_fragment(self, auction_lf,
+                                                 auction_mf):
+        # Under LF, "location" lives inside the ITEM fragment.
+        with pytest.raises(ShardingError, match="does not root"):
+            resolve_grains(auction_lf, auction_mf,
+                           grains=["location"])
+
+    def test_explicit_grain_must_be_repeated(self, auction_mf,
+                                             auction_lf):
+        with pytest.raises(ShardingError, match="not repeated"):
+            resolve_grains(auction_mf, auction_lf,
+                           grains=["regions"])
+
+
+class TestExactlyOneShard:
+    @pytest.mark.parametrize("strategy", ["key-range", "prefix-label"])
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    def test_assignments_partition_every_row(self, instances,
+                                             auction_mf, plan,
+                                             strategy, shards):
+        result = assign_shards(
+            instances, auction_mf, plan, shards, strategy
+        )
+        for name, assignment in result.assignments.items():
+            assert len(assignment) == len(instances[name].rows)
+            assert all(0 <= shard < shards for shard in assignment)
+        # Exclusive counts cover every sharded row exactly once.
+        sharded_rows = sum(
+            len(instances[name].rows) for name in plan.sharded
+        )
+        assert sum(result.rows_per_shard()) == sharded_rows
+
+    @pytest.mark.parametrize("strategy", ["key-range", "prefix-label"])
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    def test_shard_sets_are_disjoint_and_complete(self, instances,
+                                                  auction_mf, plan,
+                                                  strategy, shards):
+        shard_sets, _ = partition_instances(
+            instances, auction_mf, plan, shards, strategy
+        )
+        assert len(shard_sets) == shards
+        for name in plan.sharded:
+            original = _eids(instances[name])
+            buckets = [_eids(s[name]) for s in shard_sets]
+            for i, left in enumerate(buckets):
+                for right in buckets[i + 1:]:
+                    assert left.isdisjoint(right)
+            union = set().union(*buckets)
+            assert union == original
+        for name in plan.spine:
+            for shard_set in shard_sets:
+                assert _eids(shard_set[name]) == _eids(instances[name])
+
+    @pytest.mark.parametrize("strategy", ["key-range", "prefix-label"])
+    def test_more_shards_than_occurrences(self, auction_schema,
+                                          auction_mf, auction_lf,
+                                          strategy):
+        """K beyond the grain occurrence count leaves trailing shards
+        empty but still structurally complete."""
+        endpoint = RelationalEndpoint("S-small", auction_mf)
+        endpoint.load_document(
+            generate_xmark_document(1_000, seed=7,
+                                    schema=auction_schema)
+        )
+        instances = {
+            fragment.name: endpoint.scan(fragment)
+            for fragment in auction_mf
+        }
+        plan = resolve_grains(auction_mf, auction_lf)
+        occurrences = sum(
+            len(instances[auction_mf.fragment_of(g).name].rows)
+            for g in plan.grains
+        )
+        shards = occurrences + 5
+        shard_sets, result = partition_instances(
+            instances, auction_mf, plan, shards, strategy
+        )
+        counts = result.rows_per_shard()
+        assert sum(counts) >= occurrences
+        assert any(count == 0 for count in counts)
+        for shard_set in shard_sets:
+            assert set(shard_set) == {
+                fragment.name for fragment in auction_mf
+            }
+
+    def test_key_range_skew_stays_lossless(self, instances,
+                                           auction_mf, plan):
+        """xmark clusters every item under one region — maximal skew
+        for the range cut — and the partition is still exact."""
+        result = assign_shards(
+            instances, auction_mf, plan, 4, "key-range"
+        )
+        item_fragment = auction_mf.fragment_of("item").name
+        assignment = result.assignments[item_fragment]
+        rows = instances[item_fragment].rows
+        # Ranges are contiguous in document (eid) order.
+        by_eid = sorted(range(len(rows)), key=lambda i: rows[i].eid)
+        shards_in_order = [assignment[i] for i in by_eid]
+        assert shards_in_order == sorted(shards_in_order)
+
+
+class TestShardLocalParents:
+    @pytest.mark.parametrize("strategy", ["key-range", "prefix-label"])
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    def test_parent_never_crosses_a_boundary(self, instances,
+                                             auction_mf, plan,
+                                             strategy, shards):
+        shard_sets, _ = partition_instances(
+            instances, auction_mf, plan, shards, strategy
+        )
+        for shard_set in shard_sets:
+            local = set()
+            for instance in shard_set.values():
+                for row in instance.rows:
+                    for node in row.data.iter_all():
+                        local.add(node.eid)
+            for instance in shard_set.values():
+                for row in instance.rows:
+                    assert row.parent is None or row.parent in local
+
+    def test_dangling_parent_rejected(self, instances, auction_mf,
+                                      plan):
+        """A sharded row whose PARENT belongs to no shard is a cut
+        reference and must be diagnosed, not silently dropped."""
+        from repro.core.instance import (
+            ElementData,
+            FragmentInstance,
+            FragmentRow,
+        )
+        item_fragment = auction_mf.fragment_of("item")
+        broken = dict(instances)
+        rows = list(instances[item_fragment.name].rows)
+        rows.append(FragmentRow(
+            ElementData("item", 10_000_000), 9_999_999
+        ))
+        broken[item_fragment.name] = FragmentInstance(
+            item_fragment, rows
+        )
+        with pytest.raises(ShardingError,
+                           match="no spine row contains"):
+            assign_shards(broken, auction_mf, plan, 2, "prefix-label")
+
+
+class TestPrefixLabels:
+    def test_labels_are_prefix_extensions(self, instances, auction_mf,
+                                          plan):
+        labels = prefix_labels(instances, auction_mf, plan)
+        for grain in plan.grains:
+            fragment = auction_mf.fragment_of(grain)
+            for row in instances[fragment.name].rows:
+                label = labels[row.eid]
+                assert label[:-1] == labels[row.parent]
+
+    def test_labels_follow_document_order(self, instances, auction_mf,
+                                          plan):
+        labels = prefix_labels(instances, auction_mf, plan)
+        for grain in plan.grains:
+            fragment = auction_mf.fragment_of(grain)
+            rows = sorted(
+                instances[fragment.name].rows,
+                key=lambda row: row.eid,
+            )
+            ordered = [labels[row.eid] for row in rows]
+            assert ordered == sorted(ordered)
+
+
+class TestArgumentValidation:
+    def test_unknown_strategy(self, instances, auction_mf, plan):
+        with pytest.raises(ShardingError, match="unknown sharding"):
+            assign_shards(instances, auction_mf, plan, 2, "hash")
+
+    def test_shard_count_floor(self, instances, auction_mf, plan):
+        with pytest.raises(ShardingError, match=">= 1"):
+            assign_shards(instances, auction_mf, plan, 0)
+
+    def test_grain_plan_is_frozen(self, plan):
+        assert isinstance(plan, GrainPlan)
+        with pytest.raises(AttributeError):
+            plan.grains = ()

@@ -214,6 +214,35 @@ class TestServiceTier:
         )
         assert "brokered session(s)" in output
 
+    def test_sharded_exchange(self):
+        output = run_cli(
+            "exchange", "MF", "LF", "--shards", "4",
+            "--size", "1.0", "--scale", "0.02",
+        )
+        assert "4 shard session(s) by key-range" in output
+        assert "grains category, item" in output
+        assert "byte-identity vs unsharded run: OK" in output
+
+    def test_sharded_exchange_over_tcp_prefix_label(self):
+        output = run_cli(
+            "exchange", "MF", "LF", "--transport", "tcp",
+            "--shards", "2", "--shard-by", "prefix-label",
+            "--size", "1.0", "--scale", "0.02",
+        )
+        assert "2 shard session(s) by prefix-label" in output
+        assert "byte-identity vs unsharded run: OK" in output
+
+    def test_sharded_rejects_bad_combinations(self):
+        with pytest.raises(SystemExit):
+            main(["exchange", "MF", "LF", "--shards", "0"],
+                 io.StringIO())
+        with pytest.raises(SystemExit):
+            main(["exchange", "MF", "LF", "--shards", "2",
+                  "--sessions", "2"], io.StringIO())
+        with pytest.raises(SystemExit):
+            main(["exchange", "MF", "LF", "--shards", "2",
+                  "--drift"], io.StringIO())
+
     def test_serve_smoke(self):
         output = run_cli(
             "serve", "--http-port", "0", "--feed-port", "0",
