@@ -1,0 +1,36 @@
+"""Adaptive execution: learned statistics, background re-optimization,
+and mid-flight suffix re-placement.
+
+The paper's negotiation prices plans with probe costs measured once; a
+plan negotiated against stale or mis-probed costs stays wrong for its
+whole lifetime.  This package closes the loop in three layers:
+
+* :mod:`repro.adapt.stats` — a thread-safe, JSON-persistable
+  :class:`~repro.adapt.stats.StatisticsStore` that ingests calibration
+  fits and drift reports after every exchange and maintains
+  EWMA-smoothed cost scales per (endpoint pair, op kind, strategy).
+* :mod:`repro.adapt.reoptimizer` — a background
+  :class:`~repro.adapt.reoptimizer.ReOptimizer` that, when drift fires
+  past threshold, re-runs placement optimization off the hot path and
+  atomically swaps the cached plan instead of invalidating it.
+* :mod:`repro.adapt.executor` — an
+  :class:`~repro.adapt.executor.AdaptiveRun` wrapper over the
+  executors that checkpoints observed-vs-predicted ratios mid-exchange
+  and re-places the not-yet-started DAG suffix when they diverge.
+"""
+
+from repro.adapt.executor import AdaptiveConfig, AdaptiveRun
+from repro.adapt.reoptimizer import ReOptimizer
+from repro.adapt.replan import ScaledProbe, replan_placement
+from repro.adapt.stats import ScaleEstimate, StatisticsStore, pair_key
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveRun",
+    "ReOptimizer",
+    "ScaledProbe",
+    "replan_placement",
+    "ScaleEstimate",
+    "StatisticsStore",
+    "pair_key",
+]

@@ -1,0 +1,511 @@
+"""Mid-flight adaptive execution: checkpoint, compare, re-place.
+
+:class:`AdaptiveRun` wraps the ordinary executors.  As operations
+complete it compares their observed cost against what the negotiation
+probe predicted (per :func:`~repro.core.cost.calibrate.strategy_key`,
+with cross-edge shipments tracked as the ``"comm"`` pseudo-kind).
+When the per-kind ratios diverge beyond ``replan_threshold`` —
+*spread* between kinds, not uniform slowdown, is what re-ranks
+placements — it re-places the not-yet-started DAG suffix: completed
+and in-flight operations are pinned at their locations and
+:func:`~repro.adapt.replan.replan_placement` re-optimizes the rest
+under a :class:`~repro.adapt.replan.ScaledProbe` corrected by the
+observed ratios.
+
+Re-placement never changes *what* is computed, only *where*: Combine
+and Split produce identical values at either endpoint and cross-edge
+shipping is decided against the current placement when the value is
+actually consumed, so the written target stays byte-identical to the
+static run (the differential suite asserts this with replanning forced
+at every checkpoint).
+
+Checkpoint granularity follows the dataplane:
+
+* **per operation** — the sequential materialized path hands the run
+  a monitor hook; every op boundary is a checkpoint and the very next
+  op already sees the re-placed suffix.
+* **per expression** — the parallel and streaming dataplanes compile
+  or schedule placement ahead of execution, so the run executes the
+  program one segment at a time — write-rooted expressions
+  (Definition 3.10), merged when they share operations — and
+  checkpoints between segments.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import PlacementError
+from repro.adapt.replan import ScaledProbe, replan_placement
+from repro.adapt.stats import StatisticsStore
+from repro.core.cost.calibrate import strategy_key
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostWeights
+from repro.core.cost.probe import CostProbe
+from repro.core.fragment import Fragment
+from repro.core.ops.base import Location, Operation
+from repro.core.program.dag import Placement, TransferProgram
+from repro.core.program.executor import (
+    ExecutionReport,
+    ProgramExecutor,
+    Shipment,
+    critical_path_seconds,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.program.dag import Edge
+
+__all__ = ["AdaptiveConfig", "AdaptiveRun", "RatioTracker"]
+
+#: Observed-cost hooks.  ``None`` uses measured wall seconds; tests
+#: and benchmarks inject model-derived costs for determinism.
+CompFeedback = Callable[[Operation, Location, str, float], float]
+CommFeedback = Callable[[Fragment, float], float]
+
+
+def _predict_comp(probe: CostProbe, node: Operation,
+                  location: Location, strategy: str) -> float:
+    if strategy in ("", "row"):
+        return probe.comp_cost(node, location)
+    try:
+        return probe.comp_cost(node, location, strategy)
+    except TypeError:
+        return probe.comp_cost(node, location)
+
+
+class RatioTracker:
+    """Running measured-vs-predicted sums per strategy key."""
+
+    def __init__(self) -> None:
+        self._sums: dict[str, tuple[float, float]] = {}
+        self.samples = 0
+
+    def observe(self, key: str, measured: float,
+                predicted: float) -> None:
+        """Fold one observation in (skipped when the prediction is
+        degenerate — zero or infinite predictions compare to
+        nothing)."""
+        if (predicted <= 0 or not math.isfinite(predicted)
+                or measured < 0 or not math.isfinite(measured)):
+            return
+        measured_sum, predicted_sum = self._sums.get(key, (0.0, 0.0))
+        self._sums[key] = (
+            measured_sum + measured, predicted_sum + predicted
+        )
+        self.samples += 1
+
+    def ratios(self) -> dict[str, float]:
+        """Per-key ``measured / predicted`` over everything observed."""
+        return {
+            key: measured / predicted
+            for key, (measured, predicted) in sorted(self._sums.items())
+            if predicted > 0
+        }
+
+    def comp_ratios(self) -> dict[str, float]:
+        """The computation keys alone (no ``"comm"``)."""
+        return {
+            key: ratio for key, ratio in self.ratios().items()
+            if key != "comm"
+        }
+
+    def comm_ratio(self) -> float | None:
+        """The communication ratio, when any shipment was observed."""
+        return self.ratios().get("comm")
+
+    def divergence(self) -> float:
+        """Spread of the per-key ratios: ``max/min - 1`` (0.0 with
+        fewer than two comparable keys).  Uniform drift — every kind
+        off by the same factor — spreads nothing and changes no
+        placement decision, so it never triggers a replan."""
+        ratios = [
+            ratio for ratio in self.ratios().values() if ratio > 0
+        ]
+        if len(ratios) < 2:
+            return 0.0
+        return max(ratios) / min(ratios) - 1.0
+
+
+@dataclass(slots=True)
+class AdaptiveConfig:
+    """Knobs of one adaptive run.
+
+    ``probe`` is the cost source the plan was negotiated against —
+    the baseline the run measures divergence *from*.  ``comp_feedback``
+    / ``comm_feedback`` override what counts as the observed cost of
+    an op / a shipment (default: measured wall seconds); the
+    differential tests inject the true cost model here so replan
+    decisions are deterministic.  With a ``stats_store`` (plus
+    ``pair``) the run ingests its observed ratios — and, given
+    ``statistics``, a fitted calibration — when it finishes.
+    """
+
+    probe: CostProbe
+    weights: CostWeights | None = None
+    #: Replan when the per-kind ratio spread exceeds this (<= 0 forces
+    #: a replan at every checkpoint; ``math.inf`` disables replanning).
+    replan_threshold: float = 0.5
+    #: Observations required before the first replan may fire.
+    min_observations: int = 1
+    comp_feedback: CompFeedback | None = None
+    comm_feedback: CommFeedback | None = None
+    stats_store: StatisticsStore | None = None
+    pair: str | None = None
+    statistics: StatisticsCatalog | None = None
+    #: "op" (sequential materialized only), "expression", or "auto"
+    #: (op when the dataplane supports it, expression otherwise).
+    granularity: str = "auto"
+
+
+class AdaptiveRun:
+    """Execute a placed program, re-placing its suffix as evidence
+    accumulates.  Accepts the same dataplane knobs as
+    :func:`~repro.services.exchange.run_optimized_exchange` (journaled
+    runs excepted — resume bookkeeping assumes a static plan).
+
+    After :meth:`run`, ``replans`` / ``ops_moved`` / ``checkpoints``
+    count what happened and ``placement`` holds the final (possibly
+    re-placed) assignment.
+    """
+
+    def __init__(self, program: TransferProgram, placement: Placement,
+                 source, target, channel=None, *,
+                 config: AdaptiveConfig,
+                 parallel_workers: int = 1,
+                 batch_rows: int | None = None,
+                 columnar: bool = False,
+                 join_strategy: str | None = None,
+                 retry=None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        if config.granularity not in ("auto", "op", "expression"):
+            raise ValueError(
+                f"unknown granularity {config.granularity!r}"
+            )
+        per_op_capable = parallel_workers == 1 and batch_rows is None
+        if config.granularity == "op" and not per_op_capable:
+            raise ValueError(
+                "per-op granularity needs the sequential materialized "
+                "dataplane (parallel_workers=1, batch_rows=None)"
+            )
+        self.program = program
+        self.placement = dict(placement)
+        self.source = source
+        self.target = target
+        self.channel = channel
+        self.config = config
+        self.parallel_workers = parallel_workers
+        self.batch_rows = batch_rows
+        self.columnar = columnar
+        self.join_strategy = join_strategy
+        self.retry = retry
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
+        self.granularity = (
+            config.granularity if config.granularity != "auto"
+            else ("op" if per_op_capable else "expression")
+        )
+        self.tracker = RatioTracker()
+        self.replans = 0
+        self.ops_moved = 0
+        self.checkpoints = 0
+        self.moved_op_ids: list[int] = []
+        self._pinned: Placement = {}
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"adapt.{name}").add(amount)
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self) -> ExecutionReport:
+        """Execute the program adaptively and return the merged
+        report (same shape as a static run's).
+
+        Raises:
+            ProgramError/PlacementError: as the static executors do.
+        """
+        self.program.validate()
+        self.program.validate_placement(self.placement)
+        started = time.perf_counter()
+        with self.tracer.span("adaptive run", "adapt",
+                              granularity=self.granularity,
+                              threshold=self.config.replan_threshold):
+            if self.granularity == "op":
+                report = self._executor().run(
+                    self.program, self.placement, monitor=self
+                )
+            else:
+                report = self._run_expressions()
+        report.wall_seconds = time.perf_counter() - started
+        report.critical_path_seconds = critical_path_seconds(
+            self.program, report
+        )
+        self._ingest(report)
+        return report
+
+    def _executor(self) -> ProgramExecutor:
+        return ProgramExecutor(
+            self.source, self.target, self.channel,
+            batch_rows=self.batch_rows, retry=self.retry,
+            tracer=self.tracer, metrics=self.metrics,
+            columnar=self.columnar, join_strategy=self.join_strategy,
+        )
+
+    def _run_expressions(self) -> ExecutionReport:
+        total = ExecutionReport(batch_rows=self.batch_rows)
+        segments = _expression_groups(self.program)
+        for index, members in enumerate(segments):
+            segment = _subprogram(self.program, set(members))
+            snapshot = dict(self.placement)
+            if self.parallel_workers > 1:
+                from repro.core.program.parallel_executor import (
+                    ParallelProgramExecutor,
+                )
+
+                executor = ParallelProgramExecutor(
+                    self.source, self.target, self.channel,
+                    workers=self.parallel_workers,
+                    batch_rows=self.batch_rows, retry=self.retry,
+                    tracer=self.tracer, metrics=self.metrics,
+                    columnar=self.columnar,
+                    join_strategy=self.join_strategy,
+                )
+            else:
+                executor = self._executor()
+            part = executor.run(segment, snapshot)
+            _merge_report(total, part)
+            self._observe_segment(segment, snapshot, part)
+            for op_id in members:
+                self._pinned[op_id] = snapshot[op_id]
+            self.checkpoints += 1
+            self._count("checkpoints")
+            if index < len(segments) - 1:
+                self._maybe_replan()
+        return total
+
+    # -- observation (shared by both granularities) ----------------------------
+
+    def _observe_op(self, node: Operation, location: Location,
+                    seconds: float, strategy: str) -> None:
+        observed = seconds
+        if self.config.comp_feedback is not None:
+            observed = self.config.comp_feedback(
+                node, location, strategy, seconds
+            )
+        predicted = _predict_comp(
+            self.config.probe, node, location, strategy
+        )
+        self.tracker.observe(
+            strategy_key(node.kind, strategy), observed, predicted
+        )
+        self._count("observations")
+
+    def _observe_edge(self, fragment: Fragment,
+                      seconds: float) -> None:
+        observed = seconds
+        if self.config.comm_feedback is not None:
+            observed = self.config.comm_feedback(fragment, seconds)
+        self.tracker.observe(
+            "comm", observed, self.config.probe.comm_cost(fragment)
+        )
+        self._count("observations")
+
+    def _observe_segment(self, segment: TransferProgram,
+                         placement: Placement,
+                         report: ExecutionReport) -> None:
+        nodes = {node.op_id: node for node in segment.nodes}
+        for timing in report.op_timings:
+            node = nodes.get(timing.op_id)
+            if node is None:
+                continue
+            self._observe_op(
+                node, timing.location, timing.seconds,
+                getattr(timing, "strategy", "row"),
+            )
+        for edge in segment.cross_edges(placement):
+            key = (edge.producer.op_id, edge.output_index)
+            seconds = report.shipment_seconds.get(key)
+            if seconds is None:
+                continue
+            self._observe_edge(edge.fragment, seconds)
+
+    # -- the monitor hooks (per-op granularity) --------------------------------
+
+    def op_started(self, node: Operation) -> Location:
+        """Pin ``node`` where the current placement puts it and
+        return that location (the executor's read point)."""
+        location = self.placement[node.op_id]
+        self._pinned[node.op_id] = location
+        return location
+
+    def edge_shipped(self, edge: "Edge", shipment: Shipment) -> None:
+        self._observe_edge(edge.fragment, shipment.seconds)
+
+    def op_finished(self, node: Operation, location: Location,
+                    seconds: float, rows: int,
+                    strategy: str = "row") -> None:
+        self._observe_op(node, location, seconds, strategy)
+        self.checkpoints += 1
+        self._count("checkpoints")
+        self._maybe_replan()
+
+    # -- replanning ------------------------------------------------------------
+
+    def _maybe_replan(self) -> None:
+        remaining = [
+            node.op_id for node in self.program.nodes
+            if node.op_id not in self._pinned
+        ]
+        if not remaining:
+            return
+        if self.tracker.samples < self.config.min_observations:
+            return
+        divergence = self.tracker.divergence()
+        if divergence <= self.config.replan_threshold:
+            return
+        scaled = ScaledProbe(
+            self.config.probe, self.tracker.comp_ratios(),
+            self.tracker.comm_ratio(),
+        )
+        with self.tracer.span("replan suffix", "adapt",
+                              divergence=divergence,
+                              pinned=len(self._pinned),
+                              remaining=len(remaining)) as span:
+            try:
+                replanned, cost = replan_placement(
+                    self.program, scaled, self.config.weights,
+                    pinned=dict(self._pinned),
+                )
+            except PlacementError:
+                # The pinned prefix admits no alternative; keep going
+                # with the static suffix.
+                span.annotate(moved=-1)
+                return
+            moved = [
+                op_id for op_id in remaining
+                if replanned[op_id] is not self.placement[op_id]
+            ]
+            span.annotate(moved=len(moved), cost=cost)
+        self.replans += 1
+        self._count("replans")
+        if moved:
+            for op_id in moved:
+                self.placement[op_id] = replanned[op_id]
+            self.ops_moved += len(moved)
+            self.moved_op_ids.extend(moved)
+            self._count("ops_moved", len(moved))
+
+    # -- learned-statistics feedback -------------------------------------------
+
+    def _ingest(self, report: ExecutionReport) -> None:
+        store = self.config.stats_store
+        if store is None or self.config.pair is None:
+            return
+        ratios = self.tracker.ratios()
+        if ratios:
+            store.observe_ratios(self.config.pair, ratios)
+        if self.config.statistics is not None:
+            store.observe_timings(
+                self.config.pair, self.program, report.op_timings,
+                self.config.statistics,
+            )
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _expression_groups(program: TransferProgram) -> list[list[int]]:
+    """Disjoint executable segments, in topological order.
+
+    Per-Write upstream closures (:meth:`TransferProgram.
+    iter_expressions`, Definition 3.10) may *overlap* — a Split whose
+    output ports feed two Writes belongs to both expressions.  Running
+    an overlapping closure alone would leave the sibling output port
+    unconsumed (and re-do shared work), so closures that share any
+    operation are merged into one segment.  Within a merged segment
+    every consumer of every member is itself a member: any consumer
+    leads to some Write, and that Write's closure shares the node.
+    """
+    expressions = [
+        [node.op_id for node in expression]
+        for expression in program.iter_expressions()
+    ]
+    parent = list(range(len(expressions)))
+
+    def find(index: int) -> int:
+        while parent[index] != index:
+            parent[index] = parent[parent[index]]
+            index = parent[index]
+        return index
+
+    owner: dict[int, int] = {}
+    for index, members in enumerate(expressions):
+        for op_id in members:
+            if op_id in owner:
+                root = find(owner[op_id])
+                if root != find(index):
+                    parent[find(index)] = root
+            else:
+                owner[op_id] = index
+    groups: dict[int, set[int]] = {}
+    for index, members in enumerate(expressions):
+        groups.setdefault(find(index), set()).update(members)
+    position = {
+        node.op_id: rank
+        for rank, node in enumerate(program.topological_order())
+    }
+    ordered = sorted(
+        groups.values(), key=lambda ops: min(position[op] for op in ops)
+    )
+    return [sorted(ops, key=position.__getitem__) for ops in ordered]
+
+
+def _subprogram(program: TransferProgram,
+                members: set[int]) -> TransferProgram:
+    """The induced sub-DAG over ``members`` (same operation objects,
+    so op ids, placements and journal keys stay valid)."""
+    sub = TransferProgram()
+    for node in program.topological_order():
+        if node.op_id in members:
+            sub.add(node)
+    for edge in program.edges:
+        if (edge.producer.op_id in members
+                and edge.consumer.op_id in members):
+            sub.connect(edge.producer, edge.output_index,
+                        edge.consumer, edge.input_index)
+    return sub
+
+
+def _merge_report(total: ExecutionReport,
+                  part: ExecutionReport) -> None:
+    """Fold one segment's report into the running total (wall clock
+    and critical path are recomputed by the caller over the whole
+    run)."""
+    total.op_timings.extend(part.op_timings)
+    for location, seconds in part.comp_seconds.items():
+        total.comp_seconds[location] += seconds
+    total.comm_bytes += part.comm_bytes
+    total.comm_seconds += part.comm_seconds
+    total.shipments += part.shipments
+    total.rows_written += part.rows_written
+    for table in ("shipment_bytes", "shipment_seconds",
+                  "shipment_batches", "retries_by_edge",
+                  "redelivered_by_edge"):
+        merged = getattr(total, table)
+        for key, value in getattr(part, table).items():
+            merged[key] = merged.get(key, 0) + value
+    total.peak_resident_rows = max(
+        total.peak_resident_rows, part.peak_resident_rows
+    )
+    total.peak_resident_bytes = max(
+        total.peak_resident_bytes, part.peak_resident_bytes
+    )
+    total.retries += part.retries
+    total.redelivered_batches += part.redelivered_batches
+    total.resume_count += part.resume_count

@@ -1,0 +1,202 @@
+"""Background re-optimization of cached exchange plans.
+
+Before this module, a drift report past threshold could only
+*invalidate* a cached plan (:meth:`~repro.services.broker.PlanCache.
+note_drift`), so the next session paid a cold negotiation.  The
+:class:`ReOptimizer` closes that gap: drift notifications enqueue the
+discredited plan, a daemon thread re-runs the placement search off the
+hot path — pricing with a :class:`~repro.adapt.replan.ScaledProbe`
+corrected by the learned ratios (the
+:class:`~repro.adapt.stats.StatisticsStore`'s smoothed view when one
+is attached, the triggering report's otherwise) — and atomically swaps
+the cached entry in place (:meth:`~repro.services.broker.PlanCache.
+replace`).  Sessions keep hitting the *old* plan until the swap lands;
+none ever sees a cache miss because of drift.
+
+Each successful swap counts ``plan.reoptimized``; queueing counts
+``adapt.reopt.queued`` and completed searches ``adapt.reopt.runs``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.adapt.replan import ScaledProbe
+from repro.adapt.stats import StatisticsStore
+from repro.core.cost.model import CostWeights
+from repro.core.cost.probe import CostProbe
+from repro.core.program.dag import Placement, TransferProgram
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.drift import DriftReport
+    from repro.services.broker import PlanCache
+
+__all__ = ["ReOptimizer", "ReOptimizationJob"]
+
+
+@dataclass(slots=True)
+class ReOptimizationJob:
+    """One queued re-optimization request."""
+
+    digest: str
+    program: TransferProgram
+    placement: Placement
+    probe: CostProbe
+    weights: CostWeights | None
+    pair: str | None
+    ratios: dict[str, float]
+
+
+class ReOptimizer:
+    """Re-optimize drifted cached plans on a background thread.
+
+    Attach one to the broker (``ExchangeBroker(reoptimizer=...)``) or
+    drive :meth:`note_drift` directly.  ``drift_threshold`` matches
+    :meth:`~repro.services.broker.PlanCache.note_drift` semantics —
+    the *spread* of the per-kind ratios, not uniform slowdown.  Use as
+    a context manager, or call :meth:`close` when done; :meth:`drain`
+    blocks until the queue is empty (tests and graceful shutdown).
+    """
+
+    def __init__(self, plan_cache: "PlanCache",
+                 stats_store: StatisticsStore | None = None, *,
+                 drift_threshold: float = 0.5,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.plan_cache = plan_cache
+        self.stats_store = stats_store
+        self.drift_threshold = drift_threshold
+        self.metrics = metrics
+        self.tracer = tracer or NULL_TRACER
+        self.queued = 0
+        self.runs = 0
+        self.swaps = 0
+        self.errors = 0
+        self._jobs: deque[ReOptimizationJob] = deque()
+        self._pending = 0
+        self._closed = False
+        self._cv = threading.Condition()
+        self._thread = threading.Thread(
+            target=self._loop, name="reoptimizer", daemon=True
+        )
+        self._thread.start()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).add(amount)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Finish queued work and stop the worker thread."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ReOptimizer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Block until every queued job has been processed (or the
+        timeout passes); returns whether the queue emptied."""
+        with self._cv:
+            return self._cv.wait_for(
+                lambda: self._pending == 0, timeout
+            )
+
+    # -- the drift hook --------------------------------------------------------
+
+    def note_drift(self, digest: str, program: TransferProgram,
+                   placement: Placement, probe: CostProbe,
+                   report: "DriftReport", *,
+                   weights: CostWeights | None = None,
+                   pair: str | None = None) -> bool:
+        """Queue a re-optimization when ``report`` drifted past the
+        threshold.  Returns whether a job was queued.  The cached
+        entry is *not* invalidated — it keeps serving until the
+        background swap lands.
+        """
+        from repro.services.broker import PlanCache
+
+        if PlanCache.drift_factor(report) <= self.drift_threshold:
+            return False
+        job = ReOptimizationJob(
+            digest=digest, program=program, placement=placement,
+            probe=probe, weights=weights, pair=pair,
+            ratios=report.kind_ratios(),
+        )
+        with self._cv:
+            if self._closed:
+                return False
+            self._jobs.append(job)
+            self._pending += 1
+            self.queued += 1
+            self._cv.notify_all()
+        self._count("adapt.reopt.queued")
+        return True
+
+    # -- the worker ------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._jobs and not self._closed:
+                    self._cv.wait()
+                if not self._jobs:
+                    return  # closed and drained
+                job = self._jobs.popleft()
+            try:
+                self._process(job)
+            except Exception:  # pragma: no cover - defensive
+                self.errors += 1
+                self._count("adapt.reopt.errors")
+            finally:
+                with self._cv:
+                    self._pending -= 1
+                    self._cv.notify_all()
+
+    def _corrected_probe(self, job: ReOptimizationJob) -> CostProbe:
+        if self.stats_store is not None and job.pair is not None:
+            scaled = self.stats_store.scaled_probe(job.pair, job.probe)
+            if scaled is not job.probe:
+                return scaled
+        ratios = dict(job.ratios)
+        comm = ratios.pop("comm", None)
+        return ScaledProbe(job.probe, ratios, comm)
+
+    def _process(self, job: ReOptimizationJob) -> None:
+        from repro.core.optimizer.exhaustive import cost_based_optim
+
+        with self.tracer.span("reoptimize plan", "adapt",
+                              digest=job.digest[:12],
+                              pair=job.pair) as span:
+            probe = self._corrected_probe(job)
+            placement, cost = cost_based_optim(
+                job.program, probe, job.weights
+            )
+            self.runs += 1
+            self._count("adapt.reopt.runs")
+            moved = [
+                op_id for op_id, location in placement.items()
+                if job.placement.get(op_id) is not location
+            ]
+            span.annotate(moved=len(moved), cost=cost)
+            if not moved:
+                return
+            swapped = self.plan_cache.replace(
+                job.digest, job.program, placement,
+                estimated_cost=cost,
+            )
+            span.annotate(swapped=swapped)
+            if swapped:
+                self.swaps += 1
+                self._count("plan.reoptimized")

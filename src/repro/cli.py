@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import itertools
+import os
 import random
 import sys
 import time
@@ -285,6 +286,10 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
             "--shards runs its own broker fleet; it does not combine "
             "with --sessions or --drift"
         )
+    if args.shards > 1 and (args.adaptive or args.stats_store):
+        raise SystemExit(
+            "--adaptive/--stats-store do not combine with --shards"
+        )
     if args.columnar and args.batch_rows is None:
         # The columnar dataplane is a streaming dataplane; give it the
         # standard batch size rather than refusing.
@@ -324,6 +329,26 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         )
         source = RelationalEndpoint("source", source_frag)
         source.load_document(document)
+        stats_store = None
+        if args.stats_store:
+            from repro.adapt import StatisticsStore
+
+            if os.path.exists(args.stats_store):
+                stats_store = StatisticsStore.load(args.stats_store)
+            else:
+                stats_store = StatisticsStore()
+        adaptive_config = None
+        if args.adaptive:
+            from repro.adapt import AdaptiveConfig
+
+            statistics = StatisticsCatalog.synthetic(source_frag.schema)
+            adaptive_config = AdaptiveConfig(
+                probe=CostModel(statistics),
+                replan_threshold=args.replan_threshold,
+                stats_store=stats_store,
+                pair="source->target",
+                statistics=statistics,
+            )
         if args.shards > 1:
             return _run_sharded_exchange(
                 args, out, source_frag, target_frag, source,
@@ -347,6 +372,7 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
                     "batch_rows": args.batch_rows,
                     "columnar": args.columnar,
                 },
+                stats_store=stats_store,
                 metrics=metrics,
             )
             program, placement = plan.program, plan.placement
@@ -362,6 +388,8 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
                 columnar=args.columnar,
                 retry_policy=retry_policy,
                 fault_plan=fault_plan,
+                stats_store=stats_store,
+                adaptive=adaptive_config,
                 metrics=metrics,
                 tracer=tracer,
             )
@@ -411,6 +439,7 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
                 columnar=args.columnar,
                 retry_policy=retry_policy,
                 fault_plan=fault_plan,
+                adaptive=adaptive_config,
                 tracer=tracer,
                 metrics=metrics,
             )
@@ -452,6 +481,20 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
                 f"{dataplane} dataplane (batch_rows={args.batch_rows}): "
                 f"peak {de.peak_resident_rows} resident rows "
                 f"({de.peak_resident_bytes:,} bytes)",
+                file=out,
+            )
+        if args.adaptive:
+            print(
+                f"adaptive execution: {de.replans} replan(s) moved "
+                f"{de.ops_moved} op(s) mid-flight "
+                f"(threshold {args.replan_threshold:g})",
+                file=out,
+            )
+        if stats_store is not None:
+            stats_store.save(args.stats_store)
+            print(
+                f"statistics store: {len(stats_store)} endpoint "
+                f"pair(s) learned -> {args.stats_store}",
                 file=out,
             )
         if fault_plan is not None:
@@ -717,6 +760,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("key-range", "prefix-label"),
         help="row-to-shard strategy: contiguous element-id ranges or "
              "Dewey prefix labels dealt round-robin",
+    )
+    exchange.add_argument(
+        "--adaptive", action="store_true",
+        help="run the DE program phase adaptively: checkpoint "
+             "observed-vs-predicted costs mid-exchange and re-place "
+             "the not-yet-started DAG suffix when they diverge "
+             "(written fragments stay byte-identical)",
+    )
+    exchange.add_argument(
+        "--stats-store", default=None, metavar="PATH",
+        help="persist learned per-pair cost statistics at PATH: "
+             "loaded before the run (when the file exists) so "
+             "negotiation prices with learned scales, saved after "
+             "with this run's observations folded in",
+    )
+    exchange.add_argument(
+        "--replan-threshold", type=float, default=0.5,
+        help="adaptive divergence (ratio spread) that triggers a "
+             "suffix replan; <= 0 replans at every checkpoint, 'inf' "
+             "never (default 0.5)",
     )
     exchange.set_defaults(handler=cmd_exchange)
 

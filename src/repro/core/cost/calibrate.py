@@ -88,6 +88,43 @@ class Calibration:
             self, self.statistics, source, target, weights, bandwidth
         )
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able form of the fitted scales.
+
+        Statistics are *not* serialized — they describe the document
+        being priced, not the machine being calibrated; reattach them
+        via :meth:`from_dict` when loading.
+        """
+        return {
+            "seconds_per_unit": dict(self.seconds_per_unit),
+            "samples": dict(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object],
+                  statistics: StatisticsCatalog) -> "Calibration":
+        """Rebuild a calibration serialized by :meth:`to_dict` against
+        ``statistics``.  ``predict()`` of the round-tripped object is
+        bit-identical to the original's (the scales are stored as
+        exact floats, not re-fitted).
+
+        Raises:
+            ValueError: if ``data`` lacks the scale mapping.
+        """
+        raw_scales = data.get("seconds_per_unit")
+        if not isinstance(raw_scales, dict):
+            raise ValueError(
+                "calibration dict has no 'seconds_per_unit' mapping"
+            )
+        raw_samples = data.get("samples") or {}
+        return cls(
+            statistics,
+            {str(key): float(value)
+             for key, value in raw_scales.items()},
+            {str(key): int(value)
+             for key, value in raw_samples.items()},  # type: ignore[union-attr]
+        )
+
 
 class CalibratedCostModel(CostModel):
     """A :class:`CostModel` that prices computation in fitted seconds."""

@@ -69,6 +69,29 @@ class DataEndpoint(Protocol):
         ...
 
 
+class ExecutionMonitor(Protocol):
+    """Per-operation observer of a materialized sequential run.
+
+    The executor asks the monitor where each starting operation runs
+    (letting it pin the op and serve a freshly re-placed location) and
+    reports completions and cross-edge shipments back.  See
+    :class:`~repro.adapt.executor.AdaptiveRun`.
+    """
+
+    def op_started(self, node: Operation) -> Location:
+        """Commit and return the location ``node`` executes at."""
+        ...
+
+    def op_finished(self, node: Operation, location: Location,
+                    seconds: float, rows: int) -> None:
+        """``node`` finished; the monitor may re-place unstarted ops."""
+        ...
+
+    def edge_shipped(self, edge, shipment: "Shipment") -> None:
+        """A cross-edge value was shipped at consume time."""
+        ...
+
+
 class ShippingChannel(Protocol):
     """What the executor needs from the network between the systems.
 
@@ -278,17 +301,36 @@ class ProgramExecutor:
         return self.source if location is Location.SOURCE else self.target
 
     def run(self, program: TransferProgram,
-            placement: Placement | None = None) -> ExecutionReport:
+            placement: Placement | None = None,
+            monitor: "ExecutionMonitor | None" = None
+            ) -> ExecutionReport:
         """Execute ``program`` under ``placement`` and return metrics.
+
+        ``monitor`` (materialized dataplane only) observes the run at
+        operation granularity: it supplies each starting op's location
+        and is told about completions and shipments — the hook
+        :class:`~repro.adapt.executor.AdaptiveRun` uses to re-place
+        the not-yet-started suffix between operations.  Values ship
+        lazily at consume time against the location the monitor
+        returns, so suffix moves stay byte-identical.
 
         Raises:
             ProgramError: if the program is malformed.
             PlacementError: if the placement is illegal or incomplete.
+            ValueError: if a monitor is combined with the streaming
+                dataplane (its placement is compiled before any
+                execution — see :mod:`repro.core.program.streaming`).
         """
         program.validate()
         if placement is None:
             placement = program.placement_from_nodes()
         program.validate_placement(placement)
+        if monitor is not None and self.batch_rows is not None:
+            raise ValueError(
+                "execution monitors need the materialized dataplane "
+                "(batch_rows=None); the streaming pipeline compiles "
+                "its placement before execution starts"
+            )
 
         if self.batch_rows is not None:
             from repro.core.program.streaming import StreamingRun
@@ -324,7 +366,10 @@ class ProgramExecutor:
         consumed: set[tuple[int, int]] = set()
 
         for node in program.topological_order():
-            location = placement[node.op_id]
+            if monitor is not None:
+                location = monitor.op_started(node)
+            else:
+                location = placement[node.op_id]
             # A write acknowledged by an earlier attempt is skipped
             # wholesale on resume: its inputs are consumed (the
             # producers still ran — they may feed other writes) but
@@ -378,6 +423,8 @@ class ProgramExecutor:
                         self.metrics, shipment.bytes_sent,
                         shipment.seconds,
                     )
+                    if monitor is not None:
+                        monitor.edge_shipped(edge, shipment)
                 inputs.append(instance)
             input_sizes = [
                 (instance.row_count(), instance.estimated_size())
@@ -413,6 +460,8 @@ class ProgramExecutor:
                     )
             for index, output in enumerate(outputs):
                 values[(node.op_id, index)] = (output, location)
+            if monitor is not None:
+                monitor.op_finished(node, location, elapsed, rows)
         if values:
             leftovers = ", ".join(
                 f"op {op_id} port {port}" for op_id, port in values

@@ -63,6 +63,7 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.xmlkit.tree import Element
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.adapt.stats import StatisticsStore
     from repro.core.cost.probe import CostProbe
     from repro.schema.model import SchemaTree
     from repro.services.agency import DiscoveryAgency
@@ -308,10 +309,12 @@ class ExchangeHttpServer:
     def __init__(self, agency: "DiscoveryAgency", *,
                  host: str = "127.0.0.1", port: int = 0,
                  probe: "CostProbe | None" = None,
+                 stats_store: "StatisticsStore | None" = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
         self.agency = agency
         self.probe = probe
+        self.stats_store = stats_store
         self.metrics = metrics
         self.tracer = tracer or NULL_TRACER
         self._feeds: dict[str, str] = {}
@@ -450,6 +453,7 @@ class ExchangeHttpServer:
                 source, target,
                 optimizer=payload.get("optimizer", "greedy"),
                 probe=self.probe,
+                stats_store=self.stats_store,
             )
             self._count("server.http.negotiations")
             attributes = {
@@ -465,6 +469,24 @@ class ExchangeHttpServer:
             return soap_envelope(Element(
                 "NegotiateResult", attributes,
                 text=program_to_json(plan.program, plan.placement),
+            ))
+        if action == "StatsSummary":
+            # Adaptive control plane: the learned per-pair statistics
+            # (EWMA scales, observation counts, confidence) as a JSON
+            # payload — operators watch what the substrate taught us.
+            import json as _json
+
+            if self.stats_store is None:
+                raise SoapFault(
+                    "this agency endpoint has no statistics store "
+                    "attached; adaptive statistics are unavailable"
+                )
+            self._count("server.http.stats_summaries")
+            return soap_envelope(Element(
+                "StatsSummaryResult",
+                {"pairs": str(len(self.stats_store.pairs()))},
+                text=_json.dumps(self.stats_store.summary(),
+                                 sort_keys=True),
             ))
         raise SoapFault(f"agency cannot serve a <{payload.name}>")
 
@@ -570,6 +592,17 @@ class SoapHttpClient:
             )
         return program, placement, result
 
+    def stats_summary(self) -> dict:
+        """The server's learned adaptive statistics
+        (:meth:`~repro.adapt.stats.StatisticsStore.summary`) as a
+        JSON-decoded dict."""
+        import json as _json
+
+        result = self.call("/soap/agency", soap_envelope(
+            Element("StatsSummary", {})
+        ))
+        return _json.loads(result.text)
+
     # -- feed actions ----------------------------------------------------------
 
     def upload_feed(self, instance: FragmentInstance) -> Element:
@@ -598,12 +631,14 @@ class ExchangeServer:
                  host: str = "127.0.0.1",
                  http_port: int = 0, feed_port: int = 0,
                  probe: "CostProbe | None" = None,
+                 stats_store: "StatisticsStore | None" = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
         self.metrics = metrics
         self.tracer = tracer or NULL_TRACER
         self.http = ExchangeHttpServer(
             agency, host=host, port=http_port, probe=probe,
+            stats_store=stats_store,
             metrics=metrics, tracer=self.tracer,
         )
         self.sink = FeedSink(

@@ -39,7 +39,8 @@ from repro.wsdl.extension import (
 from repro.wsdl.model import Definitions, Port, Service, serialize_wsdl
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
-    from repro.services.broker import PlanCache
+    from repro.adapt.stats import StatisticsStore
+    from repro.services.broker import PlanCache, PlanFingerprint
 
 #: The optimizer strategies negotiate() accepts.
 OPTIMIZERS = ("greedy", "optimal", "canonical")
@@ -71,6 +72,11 @@ class ExchangePlan:
     #: Whether the plan was served from a :class:`~repro.services.
     #: broker.PlanCache` instead of a fresh optimization run.
     cached: bool = False
+    #: The cache key this plan lives (or would live) under; ``None``
+    #: when negotiation ran without a plan cache.  The broker hands it
+    #: to the :class:`~repro.adapt.reoptimizer.ReOptimizer` so drifted
+    #: plans can be re-optimized and swapped in place.
+    fingerprint: "PlanFingerprint | None" = None
 
     def annotate(self) -> TransferProgram:
         """Write the placement onto the program and return it."""
@@ -206,6 +212,7 @@ class DiscoveryAgency:
                   order_limit: int | None = None,
                   plan_cache: "PlanCache | None" = None,
                   plan_knobs: MappingType[str, object] | None = None,
+                  stats_store: "StatisticsStore | None" = None,
                   metrics: MetricsRegistry | None = None
                   ) -> ExchangePlan:
         """Produce an exchange plan between two registered systems.
@@ -224,6 +231,13 @@ class DiscoveryAgency:
         ``optimizer.<kind>.runs``), which is how callers assert that a
         warm cache really skipped optimization.
 
+        A ``stats_store`` corrects the *pricing* the optimizer sees
+        with the learned per-kind scales for this endpoint pair
+        (:meth:`~repro.adapt.stats.StatisticsStore.scaled_probe`).
+        The cache fingerprint is still computed from the *base* probe
+        — learned scales evolve with every exchange, and keying the
+        cache on them would turn every warm negotiation into a miss.
+
         Raises:
             NegotiationError: for unknown systems/optimizers or missing
                 probes.
@@ -237,6 +251,13 @@ class DiscoveryAgency:
             )
         if probe is None:
             probe = self._endpoint_probe(source, target, channel)
+        pricing_probe = probe
+        if stats_store is not None:
+            from repro.adapt.stats import pair_key
+
+            pricing_probe = stats_store.scaled_probe(
+                pair_key(source_name, target_name), probe
+            )
         mapping = derive_mapping(
             source.fragmentation, target.fragmentation
         )
@@ -261,16 +282,19 @@ class DiscoveryAgency:
                     entry.optimizer,
                     0.0,
                     cached=True,
+                    fingerprint=fingerprint,
                 )
         if optimizer == "greedy":
-            result = greedy_exchange(mapping, probe, weights)
+            result = greedy_exchange(mapping, pricing_probe, weights)
         elif optimizer == "optimal":
             result = optimal_exchange(
-                mapping, probe, weights, order_limit
+                mapping, pricing_probe, weights, order_limit
             )
         else:  # canonical order + Algorithm 1 placement
             program = build_transfer_program(mapping)
-            placement, cost = cost_based_optim(program, probe, weights)
+            placement, cost = cost_based_optim(
+                program, pricing_probe, weights
+            )
             result = OptimizationResult(program, placement, cost, 1, 0.0)
         if metrics is not None:
             metrics.counter("optimizer.runs").add(1)
@@ -290,6 +314,7 @@ class DiscoveryAgency:
             result.cost,
             optimizer,
             result.elapsed_seconds,
+            fingerprint=fingerprint,
         )
 
     def _endpoint_probe(self, source: Registration,

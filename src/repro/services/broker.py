@@ -64,9 +64,12 @@ from repro.services.exchange import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.adapt.executor import AdaptiveConfig
+    from repro.adapt.reoptimizer import ReOptimizer
+    from repro.adapt.stats import StatisticsStore
     from repro.net.faults import FaultPlan, RetryPolicy
     from repro.obs.drift import DriftReport
-    from repro.services.agency import DiscoveryAgency
+    from repro.services.agency import DiscoveryAgency, ExchangePlan
 
 __all__ = [
     "PlanFingerprint",
@@ -207,6 +210,9 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.invalidations_explicit = 0
+        self.invalidations_drift = 0
+        self.replacements = 0
         self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
         self._lock = threading.Lock()
 
@@ -214,6 +220,15 @@ class PlanCache:
         setattr(self, event, getattr(self, event) + amount)
         if self.metrics is not None:
             self.metrics.counter(f"plancache.{event}").add(amount)
+
+    def _count_invalidations(self, reason: str, amount: int) -> None:
+        self._count("invalidations", amount)
+        attr = f"invalidations_{reason}"
+        setattr(self, attr, getattr(self, attr) + amount)
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"plancache.invalidations.{reason}"
+            ).add(amount)
 
     def __len__(self) -> int:
         with self._lock:
@@ -270,10 +285,49 @@ class PlanCache:
                 self._count("evictions")
         return entry
 
+    def replace(self, digest: str, program: TransferProgram,
+                placement: Placement, *, estimated_cost: float,
+                optimizer: str | None = None,
+                optimizer_seconds: float | None = None) -> bool:
+        """Atomically swap the plan stored under ``digest`` in place.
+
+        This is the re-optimizer's landing pad: the entry keeps its
+        key, cost signature, hit count and LRU position — only the
+        serialized plan (and its estimated cost) changes, so sessions
+        that were hitting the old plan seamlessly pick up the new one.
+        Returns ``False`` when ``digest`` is no longer cached (evicted
+        or invalidated while the re-optimization ran): a swap must
+        never resurrect a dropped entry.
+        """
+        payload = program_to_json(program, placement)
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                return False
+            entry.payload = payload
+            entry.estimated_cost = estimated_cost
+            if optimizer is not None:
+                entry.optimizer = optimizer
+            if optimizer_seconds is not None:
+                entry.optimizer_seconds = optimizer_seconds
+            self._count("replacements")
+        return True
+
     def invalidate(self, digest: str | None = None,
-                   cost_signature: str | None = None) -> int:
+                   cost_signature: str | None = None, *,
+                   reason: str = "explicit") -> int:
         """Drop entries by exact digest, by cost signature, or — with
-        neither — all of them.  Returns how many were dropped."""
+        neither — all of them.  Returns how many were dropped.
+
+        ``reason`` splits the accounting: caller-initiated drops count
+        ``plancache.invalidations.explicit``, drift-triggered drops
+        (:meth:`note_drift`) count ``plancache.invalidations.drift`` —
+        both still feed the ``invalidations`` total.
+        """
+        if reason not in ("explicit", "drift"):
+            raise ValueError(
+                f"reason must be 'explicit' or 'drift', got {reason!r}"
+            )
         with self._lock:
             if digest is not None:
                 dropped = 1 if self._entries.pop(digest, None) else 0
@@ -289,7 +343,7 @@ class PlanCache:
                 dropped = len(self._entries)
                 self._entries.clear()
             if dropped:
-                self._count("invalidations", dropped)
+                self._count_invalidations(reason, dropped)
         return dropped
 
     @staticmethod
@@ -324,7 +378,9 @@ class PlanCache:
         """
         if self.drift_factor(report) <= threshold:
             return 0
-        return self.invalidate(cost_signature=cost_signature)
+        return self.invalidate(
+            cost_signature=cost_signature, reason="drift"
+        )
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot plus current size."""
@@ -336,6 +392,9 @@ class PlanCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "invalidations_explicit": self.invalidations_explicit,
+            "invalidations_drift": self.invalidations_drift,
+            "replacements": self.replacements,
         }
 
 
@@ -394,6 +453,9 @@ class ExchangeBroker:
                  columnar: bool = False,
                  retry_policy: "RetryPolicy | None" = None,
                  fault_plan: "FaultPlan | None" = None,
+                 stats_store: "StatisticsStore | None" = None,
+                 reoptimizer: "ReOptimizer | None" = None,
+                 adaptive: "AdaptiveConfig | None" = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
         if max_workers < 1:
@@ -420,6 +482,9 @@ class ExchangeBroker:
         self.columnar = columnar
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
+        self.stats_store = stats_store
+        self.reoptimizer = reoptimizer
+        self.adaptive = adaptive
         self.metrics = metrics
         self.tracer = tracer or NULL_TRACER
         self.admitted = 0
@@ -573,6 +638,7 @@ class ExchangeBroker:
                             "batch_rows": self.batch_rows,
                             "columnar": self.columnar,
                         },
+                        stats_store=self.stats_store,
                         metrics=self.metrics,
                     )
                 negotiation_seconds = time.perf_counter() - started
@@ -588,9 +654,11 @@ class ExchangeBroker:
                     columnar=self.columnar,
                     retry_policy=retry_policy,
                     fault_plan=fault_plan,
+                    adaptive=self.adaptive,
                     tracer=self.tracer,
                     metrics=self.metrics,
                 )
+                self._learn(plan, source, outcome)
                 return ExchangeSession(
                     session_id=session_id,
                     source_name=source_name,
@@ -604,3 +672,44 @@ class ExchangeBroker:
                 )
         finally:
             self._release()
+
+    def _learn(self, plan: "ExchangePlan", source: object,
+               outcome: ExchangeOutcome) -> None:
+        """Post-exchange feedback: feed the run's measurements into the
+        statistics store and hand drifted plans to the re-optimizer.
+
+        Both hooks need the broker's pricing ``probe`` to compare
+        against; endpoint-probed negotiations (``probe=None``) have no
+        stable prediction to diff, so they learn nothing.
+        """
+        if self.probe is None or outcome.report is None:
+            return
+        if self.stats_store is None and self.reoptimizer is None:
+            return
+        from repro.adapt.stats import pair_key
+
+        pair = pair_key(plan.source_name, plan.target_name)
+        if self.stats_store is not None:
+            statistics = None
+            endpoint = getattr(source, "endpoint", None)
+            if endpoint is not None:
+                try:
+                    statistics = endpoint.statistics()
+                except Exception:
+                    statistics = None
+            drift = self.stats_store.observe_exchange(
+                pair, plan.program, plan.placement, outcome.report,
+                self.probe, statistics=statistics,
+            )
+        else:
+            from repro.obs.drift import cost_drift_report
+
+            drift = cost_drift_report(
+                plan.program, plan.placement, outcome.report,
+                self.probe,
+            )
+        if self.reoptimizer is not None and plan.fingerprint is not None:
+            self.reoptimizer.note_drift(
+                plan.fingerprint.digest, plan.program, plan.placement,
+                self.probe, drift, weights=self.weights, pair=pair,
+            )

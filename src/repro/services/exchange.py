@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.program.dag import Placement, TransferProgram
-from repro.core.program.executor import ProgramExecutor
+from repro.core.program.executor import ExecutionReport, ProgramExecutor
 from repro.core.program.journal import ExchangeJournal
 from repro.core.program.parallel_executor import ParallelProgramExecutor
 from repro.net.faults import (
@@ -34,6 +35,9 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.relational.publisher import publish_document
 from repro.relational.shredder import shred_document
 from repro.services.endpoint import RelationalEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.adapt.executor import AdaptiveConfig
 
 #: Step keys, in Figure 9 stacking order (bottom to top).
 STEPS = (
@@ -84,6 +88,14 @@ class ExchangeOutcome:
     #: — summed across attempts and executors, never overwritten.
     retries_by_edge: dict = field(default_factory=dict)
     redelivered_by_edge: dict = field(default_factory=dict)
+    #: The program phase's full :class:`~repro.core.program.executor.
+    #: ExecutionReport` — the adaptive layer's raw feedback (per-op
+    #: timings, shipment accounting).  ``None`` only for PM runs.
+    report: "ExecutionReport | None" = None
+    #: Mid-flight suffix re-placements the adaptive executor performed
+    #: (0 on static runs) and how many operations they moved.
+    replans: int = 0
+    ops_moved: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -121,6 +133,7 @@ def run_optimized_exchange(
     retry_policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     journal: ExchangeJournal | None = None,
+    adaptive: "AdaptiveConfig | None" = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     reset_channel: bool = True,
@@ -150,6 +163,15 @@ def run_optimized_exchange(
     loss; ``journal`` arms checkpoint/resume.  Communication cost then
     includes the wasted transmissions — loss is charged, not hidden.
 
+    ``adaptive`` runs the program phase through the
+    :class:`~repro.adapt.executor.AdaptiveRun` wrapper instead: per-op
+    (or per-expression) checkpoints compare observed against predicted
+    costs and re-place the not-yet-started DAG suffix when they
+    diverge.  Written fragments stay byte-identical; the outcome's
+    ``replans``/``ops_moved`` count what the wrapper did.  Adaptive
+    runs do not compose with ``journal`` (resume bookkeeping assumes
+    the placement it recorded is the placement that finishes the run).
+
     ``reset_channel=False`` leaves the channel's running totals alone
     and attributes only this run's delta window to the outcome —
     required when the channel is not exclusively this run's (resetting
@@ -161,6 +183,11 @@ def run_optimized_exchange(
     """
     if parallel_workers < 1:
         raise ValueError("parallel_workers must be >= 1")
+    if adaptive is not None and journal is not None:
+        raise ValueError(
+            "adaptive execution does not compose with journaled "
+            "resume; run one or the other"
+        )
     tracer = tracer or NULL_TRACER
     outcome = ExchangeOutcome(
         scenario, "DE", parallel_workers=parallel_workers,
@@ -174,25 +201,43 @@ def run_optimized_exchange(
         FaultyChannel(channel, fault_plan, tracer=tracer)
         if fault_plan is not None else channel
     )
-    if parallel_workers > 1:
-        executor: ProgramExecutor | ParallelProgramExecutor = \
-            ParallelProgramExecutor(
-                source, target, wire, workers=parallel_workers,
-                batch_rows=batch_rows,
+    if adaptive is not None:
+        from repro.adapt.executor import AdaptiveRun
+
+        runner = AdaptiveRun(
+            program, placement, source, target, wire,
+            config=adaptive, parallel_workers=parallel_workers,
+            batch_rows=batch_rows, columnar=columnar,
+            join_strategy=join_strategy, retry=retry_policy,
+            tracer=tracer, metrics=metrics,
+        )
+        with tracer.span("execute program", "step", scenario=scenario,
+                         method="DE", workers=parallel_workers,
+                         adaptive=True):
+            report = runner.run()
+        outcome.replans = runner.replans
+        outcome.ops_moved = runner.ops_moved
+    else:
+        if parallel_workers > 1:
+            executor: ProgramExecutor | ParallelProgramExecutor = \
+                ParallelProgramExecutor(
+                    source, target, wire, workers=parallel_workers,
+                    batch_rows=batch_rows,
+                    retry=retry_policy, journal=journal,
+                    tracer=tracer, metrics=metrics,
+                    columnar=columnar, join_strategy=join_strategy,
+                )
+        else:
+            executor = ProgramExecutor(
+                source, target, wire, batch_rows=batch_rows,
                 retry=retry_policy, journal=journal,
                 tracer=tracer, metrics=metrics,
                 columnar=columnar, join_strategy=join_strategy,
             )
-    else:
-        executor = ProgramExecutor(
-            source, target, wire, batch_rows=batch_rows,
-            retry=retry_policy, journal=journal,
-            tracer=tracer, metrics=metrics,
-            columnar=columnar, join_strategy=join_strategy,
-        )
-    with tracer.span("execute program", "step", scenario=scenario,
-                     method="DE", workers=parallel_workers):
-        report = executor.run(program, placement)
+        with tracer.span("execute program", "step", scenario=scenario,
+                         method="DE", workers=parallel_workers):
+            report = executor.run(program, placement)
+    outcome.report = report
     outcome.wall_seconds = report.wall_seconds
     outcome.peak_resident_rows = report.peak_resident_rows
     outcome.peak_resident_bytes = report.peak_resident_bytes

@@ -1,0 +1,242 @@
+"""Background re-optimization: plan swap without cold negotiation,
+and the invalidation accounting split."""
+
+import pytest
+
+from repro.adapt.reoptimizer import ReOptimizer
+from repro.adapt.stats import StatisticsStore, pair_key
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.cost.model import CostModel, MachineProfile
+from repro.core.ops.base import Location
+from repro.obs.drift import DriftReport, OpDrift
+from repro.obs.metrics import MetricsRegistry
+from repro.services.agency import DiscoveryAgency
+from repro.services.broker import ExchangeBroker, PlanCache
+from repro.services.endpoint import RelationalEndpoint
+
+
+def _drift_report(ratios):
+    """A report whose kind_ratios() equals ``ratios`` exactly."""
+    return DriftReport(ops=[
+        OpDrift(op_id=i, label=kind, kind=kind,
+                location=Location.SOURCE, predicted=1.0,
+                measured_seconds=ratio, rows=1)
+        for i, (kind, ratio) in enumerate(sorted(ratios.items()))
+    ])
+
+
+@pytest.fixture
+def model(auction_schema):
+    """Asymmetric substrate: a 4x-faster target behind a slow wire, so
+    corrected combine costs genuinely re-rank placements."""
+    return CostModel(
+        StatisticsCatalog.synthetic(auction_schema),
+        target=MachineProfile("t", speed=4.0),
+        bandwidth=1.0,
+    )
+
+
+@pytest.fixture
+def agency(auction_schema, auction_mf, auction_lf):
+    agency = DiscoveryAgency(auction_schema)
+    agency.register("s", auction_mf)
+    agency.register("t", auction_lf)
+    return agency
+
+
+def _cached_plan(agency, cache, model, metrics=None):
+    plan = agency.negotiate("s", "t", probe=model, plan_cache=cache,
+                            metrics=metrics)
+    assert plan.fingerprint is not None
+    return plan
+
+
+class TestPlanCacheReplace:
+    def test_replace_unknown_digest_is_a_no_op(self, agency, model):
+        cache = PlanCache()
+        plan = _cached_plan(agency, cache, model)
+        assert cache.replace(
+            "no-such-digest", plan.program, plan.placement,
+            estimated_cost=1.0,
+        ) is False
+        assert cache.replacements == 0
+
+    def test_replace_swaps_payload_in_place(self, agency,
+                                            auction_schema, model):
+        metrics = MetricsRegistry()
+        cache = PlanCache(metrics=metrics)
+        plan = _cached_plan(agency, cache, model, metrics)
+        digest = plan.fingerprint.digest
+        cache.load(plan.fingerprint, auction_schema)  # a warm hit
+        kinds = {node.op_id: node.kind for node in plan.program.nodes}
+        flipped = {
+            op_id: (Location.TARGET
+                    if location is Location.SOURCE
+                    and kinds[op_id] != "scan"
+                    else location)
+            for op_id, location in plan.placement.items()
+        }
+        plan.program.validate_placement(flipped)
+        assert cache.replace(
+            digest, plan.program, flipped, estimated_cost=42.0,
+        ) is True
+        loaded = cache.load(plan.fingerprint, auction_schema)
+        assert loaded is not None
+        program, placement, entry = loaded
+        assert entry.estimated_cost == 42.0
+        locations = [placement[node.op_id] for node in program.nodes]
+        reference = [flipped[node.op_id]
+                     for node in plan.program.nodes]
+        assert locations == reference
+        # The swap is not an invalidation: the entry kept serving.
+        stats = cache.stats()
+        assert stats["replacements"] == 1
+        assert stats["invalidations"] == 0
+        assert stats["hits"] == 2
+        assert metrics.counter("plancache.replacements").value == 1
+
+
+class TestInvalidationSplit:
+    def test_explicit_and_drift_counted_apart(self, agency, model):
+        metrics = MetricsRegistry()
+        cache = PlanCache(metrics=metrics)
+        plan = _cached_plan(agency, cache, model, metrics)
+        cache.note_drift(
+            _drift_report({"scan": 1.0, "combine": 9.0}),
+            threshold=0.5,
+            cost_signature=plan.fingerprint.cost_signature,
+        )
+        _cached_plan(agency, cache, model, metrics)
+        cache.invalidate()
+        stats = cache.stats()
+        assert stats["invalidations"] == 2
+        assert stats["invalidations_drift"] == 1
+        assert stats["invalidations_explicit"] == 1
+        assert metrics.counter(
+            "plancache.invalidations.drift").value == 1
+        assert metrics.counter(
+            "plancache.invalidations.explicit").value == 1
+
+    def test_unknown_reason_rejected(self):
+        with pytest.raises(ValueError, match="reason"):
+            PlanCache().invalidate(reason="bogus")
+
+
+class TestReOptimizer:
+    def test_uniform_drift_not_queued(self, agency, model):
+        cache = PlanCache()
+        plan = _cached_plan(agency, cache, model)
+        with ReOptimizer(cache, drift_threshold=0.5) as reopt:
+            queued = reopt.note_drift(
+                plan.fingerprint.digest, plan.program,
+                plan.placement, model,
+                _drift_report({"scan": 3.0, "combine": 3.0,
+                               "comm": 3.0}),
+            )
+            assert queued is False
+            assert reopt.queued == 0
+
+    def test_closed_reoptimizer_declines(self, agency, model):
+        cache = PlanCache()
+        plan = _cached_plan(agency, cache, model)
+        reopt = ReOptimizer(cache, drift_threshold=0.5)
+        reopt.close()
+        assert reopt.note_drift(
+            plan.fingerprint.digest, plan.program, plan.placement,
+            model, _drift_report({"scan": 1.0, "combine": 9.0}),
+        ) is False
+
+    def test_background_swap_keeps_sessions_warm(
+            self, agency, auction_schema, model):
+        """The acceptance path: drift queues a re-optimization, the
+        background thread swaps the cached plan under its digest, and
+        warm negotiations keep hitting — zero extra optimizer runs on
+        the session path."""
+        metrics = MetricsRegistry()
+        cache = PlanCache(metrics=metrics)
+        plan = _cached_plan(agency, cache, model, metrics)
+        assert metrics.counter("optimizer.runs").value == 1
+        store = StatisticsStore(metrics=metrics)
+        # Learned evidence: combines run at a quarter of the probe's
+        # guess while scans and the wire track it — shipping now
+        # dominates the combine saving and re-ranks the placement.
+        store.observe_ratios(
+            pair_key("s", "t"),
+            {"combine": 0.25, "scan": 1.0, "comm": 1.0},
+        )
+        with ReOptimizer(cache, store, drift_threshold=0.5,
+                         metrics=metrics) as reopt:
+            queued = reopt.note_drift(
+                plan.fingerprint.digest, plan.program,
+                plan.placement, model,
+                _drift_report({"scan": 1.0, "combine": 0.25}),
+                pair=pair_key("s", "t"),
+            )
+            assert queued is True
+            assert reopt.drain(timeout=10)
+            assert reopt.runs == 1
+            assert reopt.swaps == 1
+        assert metrics.counter("plan.reoptimized").value == 1
+        assert metrics.counter("adapt.reopt.queued").value == 1
+        assert metrics.counter("adapt.reopt.runs").value == 1
+
+        # The swapped plan serves warm: same digest, new placement,
+        # no session ever paid a cold negotiation.
+        warm = agency.negotiate("s", "t", probe=model,
+                                plan_cache=cache, metrics=metrics)
+        assert warm.cached
+        assert metrics.counter("optimizer.runs").value == 1
+        moved = sum(
+            1 for before, after in zip(
+                (plan.placement[n.op_id] for n in plan.program.nodes),
+                (warm.placement[n.op_id] for n in warm.program.nodes),
+            )
+            if before is not after
+        )
+        assert moved > 0
+        cache_stats = cache.stats()
+        assert cache_stats["replacements"] == 1
+        assert cache_stats["invalidations"] == 0
+
+
+class TestBrokerIntegration:
+    def test_sessions_learn_and_requeue_without_cold_misses(
+            self, auction_schema, auction_mf, auction_lf,
+            auction_document, model):
+        source = RelationalEndpoint("S", auction_mf)
+        source.load_document(auction_document)
+        agency = DiscoveryAgency(auction_schema)
+        agency.register("src", auction_mf, source)
+        agency.register("tgt", auction_lf)
+        metrics = MetricsRegistry()
+        cache = PlanCache(metrics=metrics)
+        store = StatisticsStore(metrics=metrics)
+        counter = [0]
+
+        def fresh_target():
+            counter[0] += 1
+            return RelationalEndpoint(f"T{counter[0]}", auction_lf)
+
+        with ReOptimizer(cache, store, drift_threshold=-1.0,
+                         metrics=metrics) as reopt:
+            with ExchangeBroker(agency, plan_cache=cache,
+                                max_workers=2, probe=model,
+                                metrics=metrics, stats_store=store,
+                                reoptimizer=reopt) as broker:
+                sessions = broker.run(
+                    [("src", "tgt", fresh_target)] * 4
+                )
+            assert reopt.drain(timeout=10)
+
+        assert len(sessions) == 4
+        assert all(s.outcome.rows_written > 0 for s in sessions)
+        # Every session fed the store ...
+        assert store.pairs() == [pair_key("src", "tgt")]
+        assert store.ingests >= 4
+        # ... every measured exchange was handed to the re-optimizer
+        # (threshold -1 accepts any spread) ...
+        assert reopt.queued == 4
+        assert reopt.runs == 4
+        # ... and the session path never paid a cold re-negotiation.
+        assert metrics.counter("optimizer.runs").value == 1
+        assert sum(1 for s in sessions if s.cached) == 3

@@ -1,0 +1,181 @@
+"""The learned-statistics store: EWMA smoothing, confidence,
+probe correction, JSON persistence and thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.adapt.replan import ScaledProbe
+from repro.adapt.stats import ScaleEstimate, StatisticsStore, pair_key
+from repro.core.cost.calibrate import Calibration, CalibratedCostModel
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.obs.metrics import MetricsRegistry
+
+PAIR = pair_key("s", "t")
+
+
+class TestBasics:
+    def test_pair_key(self):
+        assert pair_key("alpha", "beta") == "alpha->beta"
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_alpha_validated(self, alpha):
+        with pytest.raises(ValueError, match="alpha"):
+            StatisticsStore(alpha=alpha)
+
+    def test_warmup_validated(self):
+        with pytest.raises(ValueError, match="warmup"):
+            StatisticsStore(warmup=0)
+
+    def test_scale_estimate_ewma(self):
+        estimate = ScaleEstimate(2.0)
+        estimate.update(4.0, alpha=0.5)
+        assert estimate.value == pytest.approx(3.0)
+        assert estimate.observations == 2
+        estimate.update(3.0, alpha=0.5, weight=4)
+        assert estimate.value == pytest.approx(3.0)
+        assert estimate.observations == 6
+
+    def test_empty_store(self):
+        store = StatisticsStore()
+        assert len(store) == 0
+        assert store.pairs() == []
+        assert store.ratios(PAIR) == {}
+        assert store.seconds_per_unit(PAIR) == {}
+        assert store.confidence(PAIR, "combine") == 0.0
+
+
+class TestIngestion:
+    def test_observe_ratios_smooths(self):
+        store = StatisticsStore(alpha=0.5)
+        store.observe_ratios(PAIR, {"scan": 2.0})
+        assert store.ratios(PAIR) == {"scan": 2.0}
+        store.observe_ratios(PAIR, {"scan": 4.0})
+        assert store.ratios(PAIR)["scan"] == pytest.approx(3.0)
+        assert store.ingests == 2
+
+    def test_nonpositive_ratios_skipped(self):
+        store = StatisticsStore()
+        store.observe_ratios(PAIR, {"scan": 0.0, "combine": -2.0})
+        assert store.ratios(PAIR) == {}
+
+    def test_observe_calibration_weights_by_samples(self, auction_schema):
+        statistics = StatisticsCatalog.synthetic(auction_schema)
+        store = StatisticsStore()
+        calibration = Calibration(
+            statistics, {"scan": 2.0}, {"scan": 4}
+        )
+        store.observe_calibration(PAIR, calibration)
+        assert store.seconds_per_unit(PAIR) == {"scan": 2.0}
+        assert store.observations(PAIR, "scan") == 4
+
+    def test_confidence_rises_toward_one(self):
+        store = StatisticsStore(alpha=1.0, warmup=3)
+        assert store.confidence(PAIR, "scan") == 0.0
+        for _ in range(3):
+            store.observe_ratios(PAIR, {"scan": 1.5})
+        # n == warmup observations -> confidence exactly 0.5.
+        assert store.confidence(PAIR, "scan") == pytest.approx(0.5)
+        for _ in range(24):
+            store.observe_ratios(PAIR, {"scan": 1.5})
+        assert store.confidence(PAIR, "scan") == pytest.approx(0.9)
+
+    def test_metrics_mirrored(self):
+        metrics = MetricsRegistry()
+        store = StatisticsStore(metrics=metrics)
+        store.observe_ratios(PAIR, {"scan": 1.5, "comm": 2.0})
+        assert metrics.counter("adapt.stats.drifts").value == 1
+        assert metrics.counter("adapt.stats.ratio_updates").value == 2
+
+
+class TestLearnedViews:
+    def test_scaled_probe_identity_without_evidence(self):
+        store = StatisticsStore()
+        probe = object()
+        assert store.scaled_probe(PAIR, probe) is probe
+
+    def test_scaled_probe_pops_comm(self):
+        store = StatisticsStore()
+        base = object()
+        store.observe_ratios(PAIR, {"combine": 2.0, "comm": 3.0})
+        scaled = store.scaled_probe(PAIR, base)
+        assert isinstance(scaled, ScaledProbe)
+        assert scaled.base is base
+        assert scaled.kind_scales == {"combine": 2.0}
+        assert scaled.comm_scale == pytest.approx(3.0)
+
+    def test_cost_model_from_learned_scales(self, auction_schema):
+        statistics = StatisticsCatalog.synthetic(auction_schema)
+        store = StatisticsStore()
+        assert store.cost_model(PAIR, statistics) is None
+        store.observe_calibration(
+            PAIR, Calibration(statistics, {"scan": 2.0}, {"scan": 1})
+        )
+        model = store.cost_model(PAIR, statistics)
+        assert isinstance(model, CalibratedCostModel)
+        assert model.calibration.seconds_per_unit == {"scan": 2.0}
+
+
+class TestPersistence:
+    def _populated(self):
+        store = StatisticsStore(alpha=0.4, warmup=5)
+        store.observe_ratios(PAIR, {"scan": 1.5, "comm": 2.5})
+        store.observe_ratios("t->s", {"combine": 0.25})
+        return store
+
+    def test_dict_roundtrip(self):
+        store = self._populated()
+        clone = StatisticsStore.from_dict(store.to_dict())
+        assert clone.to_dict() == store.to_dict()
+        assert clone.alpha == 0.4 and clone.warmup == 5
+        assert clone.ratios(PAIR) == store.ratios(PAIR)
+        assert clone.confidence(PAIR, "scan") \
+            == store.confidence(PAIR, "scan")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = self._populated()
+        path = tmp_path / "stats.json"
+        store.save(path)
+        loaded = StatisticsStore.load(path)
+        assert loaded.to_dict() == store.to_dict()
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "stats.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            StatisticsStore.load(path)
+
+    def test_summary_shape(self):
+        store = self._populated()
+        summary = store.summary()
+        assert summary["ingests"] == 2
+        assert sorted(summary["pairs"]) == [PAIR, "t->s"]
+        entry = summary["pairs"][PAIR]["ratios"]["scan"]
+        assert entry["value"] == pytest.approx(1.5)
+        assert entry["observations"] == 1
+        assert entry["confidence"] == pytest.approx(1 / 6)
+        # The summary is the control-plane payload: JSON-able as is.
+        json.dumps(store.summary())
+
+
+class TestThreadSafety:
+    def test_concurrent_ingestion(self):
+        store = StatisticsStore(alpha=1.0)
+        rounds = 50
+
+        def worker(pair):
+            for _ in range(rounds):
+                store.observe_ratios(pair, {"scan": 2.0})
+
+        threads = [
+            threading.Thread(target=worker, args=(f"s->{i % 2}",))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.ingests == 8 * rounds
+        assert store.observations("s->0", "scan") == 4 * rounds
+        assert store.ratios("s->0")["scan"] == pytest.approx(2.0)

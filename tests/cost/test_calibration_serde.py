@@ -1,0 +1,59 @@
+"""Calibration serialization: serialize -> load reproduces predict()
+bit-exactly (property-based)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost.calibrate import Calibration
+from repro.core.cost.estimates import StatisticsCatalog
+from repro.core.mapping import derive_mapping
+from repro.core.program.builder import build_transfer_program
+
+KEYS = st.sampled_from([
+    "scan", "combine", "split", "write",
+    "scan.columnar", "combine.hash", "combine.columnar",
+    "split.columnar", "write.columnar",
+])
+SCALES = st.dictionaries(
+    KEYS,
+    st.floats(min_value=1e-9, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    max_size=9,
+)
+SAMPLES = st.dictionaries(KEYS, st.integers(1, 1000), max_size=9)
+STRATEGIES = st.sampled_from(["row", "columnar", "hash"])
+
+
+@settings(max_examples=50, deadline=None)
+@given(scales=SCALES, samples=SAMPLES, strategy=STRATEGIES)
+def test_roundtrip_reproduces_predict_exactly(
+        auction_schema, auction_mf, auction_lf,
+        scales, samples, strategy):
+    statistics = StatisticsCatalog.synthetic(auction_schema)
+    original = Calibration(statistics, dict(scales), dict(samples))
+    # Through actual JSON text, exactly like a stats-store file.
+    payload = json.loads(json.dumps(original.to_dict()))
+    restored = Calibration.from_dict(payload, statistics)
+    assert restored.seconds_per_unit == original.seconds_per_unit
+    assert restored.samples == original.samples
+    program = build_transfer_program(
+        derive_mapping(auction_mf, auction_lf)
+    )
+    for node in program.nodes:
+        # Bit-identical, not approximately equal: the scales travel
+        # as exact floats and predict() is the same arithmetic.
+        assert restored.predict(node, strategy) \
+            == original.predict(node, strategy)
+
+
+def test_from_dict_requires_scale_mapping(auction_schema):
+    statistics = StatisticsCatalog.synthetic(auction_schema)
+    with pytest.raises(ValueError, match="seconds_per_unit"):
+        Calibration.from_dict({"samples": {}}, statistics)
+    restored = Calibration.from_dict(
+        {"seconds_per_unit": {"scan": 2.0}}, statistics
+    )
+    assert restored.samples == {}

@@ -247,6 +247,33 @@ class TestHttpControlPlane:
                         soap_envelope(Element("Ping")))
 
 
+class TestStatsSummaryAction:
+    def test_learned_statistics_served_as_json(self, customer_agency,
+                                               probe):
+        from repro.adapt.stats import StatisticsStore
+
+        store = StatisticsStore()
+        store.observe_ratios("s->t", {"combine": 0.5, "comm": 2.0})
+        metrics = MetricsRegistry()
+        with ExchangeHttpServer(customer_agency, probe=probe,
+                                stats_store=store,
+                                metrics=metrics) as http:
+            client = SoapHttpClient(http.host, http.port)
+            summary = client.stats_summary()
+        assert list(summary["pairs"]) == ["s->t"]
+        ratios = summary["pairs"]["s->t"]["ratios"]
+        assert ratios["combine"]["value"] == pytest.approx(0.5)
+        assert metrics.counter(
+            "server.http.stats_summaries").value == 1
+
+    def test_without_store_is_fault(self, customer_agency, probe):
+        with ExchangeHttpServer(customer_agency,
+                                probe=probe) as http:
+            client = SoapHttpClient(http.host, http.port)
+            with pytest.raises(SoapFault, match="statistics store"):
+                client.stats_summary()
+
+
 class TestExchangeServer:
     def test_both_planes_share_one_lifecycle(self, customer_agency,
                                              probe, wsdl_texts, feed):

@@ -120,6 +120,8 @@ class TestPlanCache:
         assert cache.stats() == {
             "size": 1, "hits": 2, "misses": 1,
             "evictions": 0, "invalidations": 0,
+            "invalidations_explicit": 0, "invalidations_drift": 0,
+            "replacements": 0,
         }
         assert metrics.counter("plancache.hits").value == 2
         assert metrics.counter("plancache.misses").value == 1

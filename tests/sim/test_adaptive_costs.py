@@ -1,0 +1,77 @@
+"""Analytic adaptive-vs-static costing on simulated substrates."""
+
+import pytest
+
+from repro.core.cost.model import MachineProfile
+from repro.schema.generator import random_schema
+from repro.sim.random_fragmentation import random_fragmentation
+from repro.sim.simulator import AdaptiveCostEstimate, ExchangeSimulator
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    schema = random_schema(12, seed=8, repeat_prob=0.5)
+    source_frag = random_fragmentation(
+        schema, n_fragments=6, seed=108, name="A"
+    )
+    target_frag = random_fragmentation(
+        schema, n_fragments=5, seed=208, name="B"
+    )
+    return schema, source_frag, target_frag
+
+
+class TestAdaptiveExchangeCosts:
+    def test_miscalibration_opens_a_recoverable_gap(self, scenario):
+        """Combine overpriced 4x on a slow wire to a fast target: the
+        static plan mis-places ops, and re-placing the suffix past the
+        first pinned segment recovers the full oracle gap here."""
+        schema, source_frag, target_frag = scenario
+        sim = ExchangeSimulator(schema, bandwidth=1.0)
+        estimate = sim.adaptive_exchange_costs(
+            source_frag, target_frag,
+            MachineProfile("s"), MachineProfile("t", speed=8.0),
+            miscalibration={"combine": 4.0},
+        )
+        assert estimate.gap > 0
+        assert estimate.moved_ops > 0
+        assert estimate.pinned_ops > 0
+        assert estimate.adaptive_cost <= estimate.static_cost
+        assert estimate.oracle_cost <= estimate.adaptive_cost
+        assert estimate.recovered_fraction >= 0.5
+
+    def test_accurate_model_has_no_gap(self, scenario):
+        schema, source_frag, target_frag = scenario
+        sim = ExchangeSimulator(schema, bandwidth=1.0)
+        estimate = sim.adaptive_exchange_costs(
+            source_frag, target_frag,
+            MachineProfile("s"), MachineProfile("t", speed=8.0),
+            miscalibration={},
+        )
+        assert estimate.gap == pytest.approx(0.0)
+        assert estimate.moved_ops == 0
+        assert estimate.recovered_fraction == 1.0
+
+    def test_fast_wire_hides_the_miscalibration(self, scenario):
+        """With cheap communication both models agree on placement, so
+        a pure comp-scale error costs nothing."""
+        schema, source_frag, target_frag = scenario
+        sim = ExchangeSimulator(schema, bandwidth=100.0)
+        estimate = sim.adaptive_exchange_costs(
+            source_frag, target_frag,
+            MachineProfile("s"), MachineProfile("t", speed=8.0),
+            miscalibration={"combine": 4.0},
+        )
+        assert estimate.gap == pytest.approx(0.0)
+
+    def test_estimate_arithmetic(self):
+        estimate = AdaptiveCostEstimate(
+            static_cost=10.0, adaptive_cost=7.0, oracle_cost=6.0,
+            pinned_ops=2, moved_ops=1,
+        )
+        assert estimate.gap == pytest.approx(4.0)
+        assert estimate.recovered_fraction == pytest.approx(0.75)
+        degenerate = AdaptiveCostEstimate(
+            static_cost=5.0, adaptive_cost=5.0, oracle_cost=5.0,
+            pinned_ops=1, moved_ops=0,
+        )
+        assert degenerate.recovered_fraction == 1.0

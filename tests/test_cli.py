@@ -102,6 +102,48 @@ class TestExchangeCommand:
         assert "columnar dataplane (batch_rows=32)" in output
 
 
+class TestAdaptiveExchange:
+    def test_adaptive_run_reports_replans(self):
+        output = run_cli(
+            "exchange", "MF", "LF", "--size", "2.5",
+            "--scale", "0.02", "--adaptive",
+            "--replan-threshold", "-1",
+        )
+        assert "adaptive execution:" in output
+        assert "replan(s)" in output and "mid-flight" in output
+        assert "(threshold -1)" in output
+
+    def test_stats_store_persists_and_warms(self, tmp_path):
+        import json
+
+        path = tmp_path / "stats.json"
+        cold = run_cli(
+            "exchange", "MF", "LF", "--size", "2.5",
+            "--scale", "0.02", "--adaptive",
+            "--stats-store", str(path),
+        )
+        assert f"pair(s) learned -> {path}" in cold
+        state = json.loads(path.read_text(encoding="utf-8"))
+        assert state["ingests"] > 0
+        warm = run_cli(
+            "exchange", "MF", "LF", "--size", "2.5",
+            "--scale", "0.02", "--adaptive",
+            "--stats-store", str(path),
+        )
+        assert "statistics store: 1 endpoint pair(s)" in warm
+        warmed = json.loads(path.read_text(encoding="utf-8"))
+        # The second run loaded the first run's store and kept learning.
+        assert warmed["ingests"] > state["ingests"]
+
+    def test_adaptive_rejects_sharding(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["exchange", "MF", "LF", "--shards", "2",
+                 "--adaptive"],
+                io.StringIO(),
+            )
+
+
 class TestSimulateCommand:
     def test_table5_config(self):
         output = run_cli(
