@@ -257,6 +257,97 @@ def _run_sharded_exchange(args: argparse.Namespace, out: TextIO,
     return 0 if identical else 1
 
 
+def _run_delta_exchange(args: argparse.Namespace, out: TextIO,
+                        source_frag: Fragmentation,
+                        target_frag: Fragmentation,
+                        source: RelationalEndpoint,
+                        make_channel, retry_policy, fault_plan,
+                        tracer, metrics) -> int:
+    """The ``--delta`` path: one cold full exchange, an in-place
+    mutation of ``--change-rate`` of the source rows, then a delta
+    re-exchange through the same journal — verified byte-identical
+    against a fresh full re-exchange.  Returns non-zero on
+    divergence."""
+    from repro.core.delta import endpoint_digest
+    from repro.core.program.journal import ExchangeJournal
+    from repro.workloads.mutate import mutate_endpoint
+
+    program = build_transfer_program(
+        derive_mapping(source_frag, target_frag)
+    )
+    placement = source_heavy_placement(program)
+    scenario = f"{args.source}->{args.target}"
+    source.enable_versioning()
+    journal = ExchangeJournal()
+    run_kwargs = dict(
+        parallel_workers=args.workers,
+        batch_rows=args.batch_rows,
+        columnar=args.columnar,
+        retry_policy=retry_policy,
+        fault_plan=fault_plan,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    de_target = RelationalEndpoint("de-target", target_frag)
+    full = run_optimized_exchange(
+        program, placement, source, de_target, make_channel(),
+        scenario, journal=journal, **run_kwargs,
+    )
+    report = mutate_endpoint(
+        source, args.change_rate, seed=args.seed,
+        delete_fraction=args.change_rate / 5.0,
+    )
+    delta = run_optimized_exchange(
+        program, placement, source, de_target, make_channel(),
+        scenario, journal=journal, delta=True, since=args.since,
+        **run_kwargs,
+    )
+    # The reference: re-exchange the mutated source from scratch.
+    reference = RelationalEndpoint("reference-target", target_frag)
+    run_optimized_exchange(
+        program, placement, source, reference, make_channel(),
+        scenario, **run_kwargs,
+    )
+    fragments = list(target_frag)
+    identical = endpoint_digest(de_target, fragments) \
+        == endpoint_digest(reference, fragments)
+
+    print(format_table(
+        ["run", "comm bytes", "rows written", "seconds"],
+        [
+            ["full", full.comm_bytes, full.rows_written,
+             full.total_seconds],
+            ["delta", delta.comm_bytes, delta.rows_written,
+             delta.total_seconds],
+        ],
+        title=f"delta re-exchange {scenario}, change rate "
+              f"{args.change_rate:g}",
+    ), file=out)
+    ratio = (
+        delta.comm_bytes / full.comm_bytes
+        if full.comm_bytes else 0.0
+    )
+    print(
+        f"mutated {report.updated} row(s), deleted {report.deleted}; "
+        f"window ({delta.delta_since}, {delta.delta_high}] changed "
+        f"{delta.delta_changed_rows} of {delta.delta_total_rows} "
+        f"row(s), closure shipped {delta.delta_shipped_rows}, "
+        f"tombstoned {delta.delta_deleted_rows}",
+        file=out,
+    )
+    print(f"delta/full communication: {ratio:.3f}x", file=out)
+    print(
+        "byte-identity vs full re-exchange: "
+        + ("OK" if identical else "MISMATCH"),
+        file=out,
+    )
+    if args.trace:
+        _export_trace(tracer, args.trace, args.trace_format, out)
+    if args.metrics:
+        print(metrics.render(), file=out)
+    return 0 if identical else 1
+
+
 def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
     """Run DE vs publish&map on XMark data; ``--workers N`` executes
     the DE program phase on the N-way parallel executor; ``--sessions
@@ -290,6 +381,23 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
         raise SystemExit(
             "--adaptive/--stats-store do not combine with --shards"
         )
+    if args.delta:
+        if args.shards > 1 or args.sessions > 1 or args.adaptive \
+                or args.drift or args.plan_cache or args.stats_store:
+            raise SystemExit(
+                "--delta runs its own full+delta pair; it does not "
+                "combine with --shards, --sessions, --plan-cache, "
+                "--adaptive, --stats-store or --drift"
+            )
+        if not 0.0 < args.change_rate <= 1.0:
+            raise SystemExit(
+                f"--change-rate must be in (0, 1], got "
+                f"{args.change_rate}"
+            )
+        if args.since is not None and args.since < 0:
+            raise SystemExit(
+                f"--since must be >= 0, got {args.since}"
+            )
     if args.columnar and args.batch_rows is None:
         # The columnar dataplane is a streaming dataplane; give it the
         # standard batch size rather than refusing.
@@ -351,6 +459,12 @@ def cmd_exchange(args: argparse.Namespace, out: TextIO) -> int:
             )
         if args.shards > 1:
             return _run_sharded_exchange(
+                args, out, source_frag, target_frag, source,
+                make_channel, retry_policy, fault_plan, tracer,
+                metrics,
+            )
+        if args.delta:
+            return _run_delta_exchange(
                 args, out, source_frag, target_frag, source,
                 make_channel, retry_policy, fault_plan, tracer,
                 metrics,
@@ -780,6 +894,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="adaptive divergence (ratio spread) that triggers a "
              "suffix replan; <= 0 replans at every checkpoint, 'inf' "
              "never (default 0.5)",
+    )
+    exchange.add_argument(
+        "--delta", action="store_true",
+        help="incremental sync ablation: run one cold full exchange, "
+             "mutate --change-rate of the source rows in place, then "
+             "delta re-exchange only the changed subset through the "
+             "same journal (verified byte-identical against a fresh "
+             "full re-exchange)",
+    )
+    exchange.add_argument(
+        "--change-rate", type=float, default=0.1,
+        help="fraction of each fragment's rows mutated between the "
+             "full and delta runs (plus a fifth as many deletes on "
+             "cascade-free fragments; default 0.1)",
+    )
+    exchange.add_argument(
+        "--since", type=int, default=None,
+        help="explicit source version the delta run syncs from "
+             "(default: the journal's last completed-sync high-water "
+             "mark)",
     )
     exchange.set_defaults(handler=cmd_exchange)
 

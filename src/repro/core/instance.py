@@ -27,12 +27,14 @@ from repro.xmlkit.tree import Element
 
 
 def combine_orphan_message(parent_name: str, child_name: str,
-                           orphan_keys: Iterable[int]) -> str:
+                           orphan_keys: Iterable[int | None]) -> str:
     """Error text for child rows whose parent occurrences are missing,
     listing the orphaned PARENT keys.  Shared by the materialized,
     streaming and columnar combine paths so every dataplane reports
-    the identical diagnosis."""
-    keys = sorted(set(orphan_keys))
+    the identical diagnosis.  ``None`` (a root row arriving where a
+    child is expected) sorts first and renders literally."""
+    keys = sorted(set(orphan_keys),
+                  key=lambda key: (key is not None, key or 0))
     shown = ", ".join(str(key) for key in keys[:10])
     if len(keys) > 10:
         shown += f", ... ({len(keys) - 10} more)"
@@ -134,10 +136,18 @@ class ElementData:
 
 @dataclass(slots=True)
 class FragmentRow:
-    """One fragment-root occurrence and its PARENT reference."""
+    """One fragment-root occurrence and its PARENT reference.
+
+    ``version`` is endpoint-side bookkeeping stamped by a
+    :class:`~repro.core.delta.VersionLog` when the owning endpoint has
+    versioning enabled: the monotone exchange version at which this row
+    last changed.  It never travels on the wire — delta exchange uses
+    it purely to pick the changed subset (0 means "unversioned").
+    """
 
     data: ElementData
     parent: int | None
+    version: int = 0
 
     @property
     def eid(self) -> int:
@@ -210,12 +220,23 @@ class FragmentInstance:
         """Deep copy of the feed."""
         return FragmentInstance(
             self.fragment,
-            [FragmentRow(row.data.copy(), row.parent) for row in self.rows],
+            [FragmentRow(row.data.copy(), row.parent, row.version)
+             for row in self.rows],
         )
 
     def sort(self) -> None:
-        """Sort rows by (PARENT, ID) — the sorted-feed order of [5, 6]."""
-        self.rows.sort(key=lambda row: (row.parent or 0, row.eid))
+        """Sort rows by (PARENT, ID) — the sorted-feed order of [5, 6].
+
+        ``PARENT=None`` (root rows) sorts strictly before every real
+        eid, matching the relational engine's NULLS-FIRST ``ORDER BY
+        parent, id``; keying on ``row.parent or 0`` would collapse
+        root rows with children of a genuine eid-0 parent and diverge
+        from the document order the columnar merge join relies on.
+        """
+        self.rows.sort(
+            key=lambda row: (row.parent is not None, row.parent or 0,
+                             row.eid)
+        )
 
     # -- the instance-level semantics of Combine / Split ----------------------
 
@@ -237,11 +258,13 @@ class FragmentInstance:
         for row in self.rows:
             for occurrence in row.data.occurrences_of(anchor):
                 index[occurrence.eid] = occurrence
-        orphan_keys: list[int] = []
+        orphan_keys: list[int | None] = []
         for child_row in child.rows:
-            key = (child_row.parent
-                   if child_row.parent is not None else -1)
-            target = index.get(key)
+            # None (no PARENT) can never match an occurrence; previously
+            # it was folded onto the sentinel -1, which a genuine
+            # negative eid could collide with.
+            key = child_row.parent
+            target = index.get(key) if key is not None else None
             if target is None:
                 orphan_keys.append(key)
                 continue

@@ -80,7 +80,12 @@ def derive_mapping(source: Fragmentation, target: Fragmentation) -> Mapping:
     Raises:
         MappingError: if the fragmentations are over different schemas.
     """
-    if source.schema is not target.schema:
+    if not source.schema.structurally_equal(target.schema):
+        # Remote systems re-parse the agreed schema document, so the
+        # two fragmentations may arrive over distinct but structurally
+        # identical SchemaTree objects (same canonical fingerprint);
+        # those are one schema for mapping purposes, exactly as
+        # DiscoveryAgency.register accepts them.
         raise MappingError(
             "source and target fragmentations must share one schema "
             f"({source.name!r} vs {target.name!r})"

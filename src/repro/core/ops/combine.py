@@ -37,6 +37,13 @@ from repro.core.stream import ResidencyMeter, RowBatch
 #: Join strategies of the columnar combine.
 JOIN_STRATEGIES = ("hash", "merge")
 
+#: Columnar build-side stand-in for a NULL PARENT key.  It orders
+#: strictly before every real eid (so the merge join's sortedness check
+#: and binary search stay valid) and can never equal one — unlike the
+#: old sentinel ``-1``, which a genuine negative eid would collide
+#: with.  Orphan reports translate it back to ``None``.
+_NO_PARENT = float("-inf")
+
 
 class Combine(Operation):
     """Combine ``child`` into ``parent`` (both fragments of one schema)."""
@@ -101,12 +108,15 @@ class Combine(Operation):
         child_name = self.child_fragment.name
 
         def generate() -> Iterator[RowBatch]:
-            pending: dict[int, list[FragmentRow]] = {}
+            pending: dict[int | None, list[FragmentRow]] = {}
             for batch in child:
                 started = time.perf_counter()
                 for row in batch.rows:
-                    key = row.parent if row.parent is not None else -1
-                    pending.setdefault(key, []).append(row)
+                    # None keys can never match an anchor eid, so such
+                    # rows simply stay pending and surface as orphans;
+                    # folding them onto -1 (the old sentinel) would
+                    # collide with a genuine negative eid.
+                    pending.setdefault(row.parent, []).append(row)
                 if tick is not None:
                     tick(time.perf_counter() - started, 0)
             seq = 0
@@ -213,7 +223,7 @@ class Combine(Operation):
 
         def generate() -> Iterator[ColumnBatch]:
             # ---- build: drain the child side into column arrays ----
-            keys: list[int] = []
+            keys: list[int | float] = []
             child_columns: dict[str, list] = {
                 name: [] for from_child, name in column_plan
                 if from_child
@@ -223,7 +233,7 @@ class Combine(Operation):
             for batch in child:
                 started = time.perf_counter()
                 for key in batch.column("parent"):
-                    normalized = -1 if key is None else key
+                    normalized = _NO_PARENT if key is None else key
                     if keys and normalized < keys[-1]:
                         sorted_keys = False
                     keys.append(normalized)
@@ -308,8 +318,8 @@ class Combine(Operation):
             if not all(matched):
                 raise OperationError(combine_orphan_message(
                     parent_fragment.name, child_fragment.name,
-                    [keys[index] for index, hit in enumerate(matched)
-                     if not hit],
+                    [None if keys[index] == _NO_PARENT else keys[index]
+                     for index, hit in enumerate(matched) if not hit],
                 ))
 
         return generate()

@@ -45,6 +45,7 @@ class ExchangeJournal:
         self._runs = 0
         self._batch_high: dict[str, int] = {}
         self._writes_done: set[str] = set()
+        self._sync_version = 0
         self._file: IO[str] | None = None
         if self.path is not None and self.path.exists():
             self._load()
@@ -55,22 +56,49 @@ class ExchangeJournal:
 
     def _load(self) -> None:
         assert self.path is not None
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                record = json.loads(line)
-                event = record.get("event")
-                if event == "run":
-                    self._runs += 1
-                elif event == "batch":
-                    key = record["write"]
-                    seq = int(record["seq"])
-                    if seq > self._batch_high.get(key, -1):
-                        self._batch_high[key] = seq
-                elif event == "write":
-                    self._writes_done.add(record["write"])
+        raw = self.path.read_text(encoding="utf-8")
+        good_end = 0
+        offset = 0
+        for line in raw.splitlines(keepends=True):
+            stripped = line.strip()
+            if stripped:
+                try:
+                    record = json.loads(stripped)
+                except json.JSONDecodeError:
+                    # A record torn mid-write by a kill — exactly the
+                    # crash the journal exists to survive.  Only the
+                    # final line can legally be torn: everything after
+                    # a defect is unparseable territory, so stop here
+                    # and truncate the tail before appending resumes.
+                    break
+                self._apply(record)
+            offset += len(line)
+            good_end = offset
+        if good_end < len(raw):
+            with self.path.open("r+", encoding="utf-8") as handle:
+                handle.truncate(good_end)
+
+    def _apply(self, record: dict[str, object]) -> None:
+        event = record.get("event")
+        if event == "run":
+            self._runs += 1
+        elif event == "batch":
+            key = str(record["write"])
+            seq = int(record["seq"])  # type: ignore[arg-type]
+            if seq > self._batch_high.get(key, -1):
+                self._batch_high[key] = seq
+        elif event == "write":
+            self._writes_done.add(str(record["write"]))
+        elif event == "sync":
+            version = int(record["version"])  # type: ignore[arg-type]
+            if version > self._sync_version:
+                self._sync_version = version
+            # A sync closes the exchange: earlier acknowledgements
+            # belong to the completed run and must not short-circuit
+            # the next one.
+            self._runs = 0
+            self._batch_high.clear()
+            self._writes_done.clear()
 
     def _append(self, record: dict[str, object]) -> None:
         if self._file is None:
@@ -138,6 +166,34 @@ class ExchangeJournal:
         """Whether ``write_key`` finished in an earlier attempt."""
         with self._lock:
             return write_key in self._writes_done
+
+    # -- delta high-water ---------------------------------------------------------
+
+    def record_sync(self, version: int) -> None:
+        """Record that the target is fully synchronized with the source
+        as of source ``version``.
+
+        Delta exchange writes this only **after** an exchange completes,
+        so a killed run never advances the high-water mark: the resumed
+        (or next delta) run re-covers everything since the last finished
+        sync.
+        """
+        with self._lock:
+            if version > self._sync_version:
+                self._sync_version = version
+            # Close the run: the next exchange through this journal
+            # starts with a clean acknowledgement slate (and a fresh
+            # resume count).
+            self._runs = 0
+            self._batch_high.clear()
+            self._writes_done.clear()
+            self._append({"event": "sync", "version": version})
+
+    def last_sync_version(self) -> int:
+        """Source version of the last *completed* exchange (0 when no
+        sync is on record — the next delta run ships everything)."""
+        with self._lock:
+            return self._sync_version
 
 
 def write_key(op_id: int, fragment_name: str) -> str:

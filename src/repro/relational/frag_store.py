@@ -251,6 +251,16 @@ class FragmentRelationMapper:
         with self._table_locks[fragment.name]:
             return db.load(layout.table_name, flat)
 
+    def delete_rows(self, db: Database, fragment: Fragment,
+                    eids: Iterable[int]) -> int:
+        """Delete fragment rows by root eid (the ``id`` primary key) —
+        the removal half of a delta merge; returns rows removed."""
+        layout = self.layout_for(fragment)
+        with self._table_locks[fragment.name]:
+            return db.table(layout.table_name).delete_where(
+                "id", eids
+            )
+
     # -- scanning ----------------------------------------------------------------------
 
     def _sorted_feed(self, db: Database, fragment: Fragment

@@ -65,6 +65,29 @@ class Table:
         for index in self.indexes.values():
             index.build(self.rows)
 
+    def delete_where(self, column: str,
+                     keys: Iterable[object]) -> int:
+        """Delete rows whose ``column`` value is in ``keys``; returns
+        how many were removed.  Indexes go stale (DELETE then rebuild,
+        matching the separately timed LOAD/INDEX discipline).
+
+        Raises:
+            TableError: for unknown columns.
+        """
+        position = self.schema.position(column)
+        wanted = set(keys)
+        if not wanted:
+            return 0
+        before = len(self.rows)
+        self.rows = [
+            row for row in self.rows if row[position] not in wanted
+        ]
+        deleted = before - len(self.rows)
+        if deleted:
+            for index in self.indexes.values():
+                index.built = False
+        return deleted
+
     # -- indexes ------------------------------------------------------------------
 
     def create_index(self, column: str, kind: str = "hash",

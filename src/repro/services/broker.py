@@ -67,6 +67,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
     from repro.adapt.executor import AdaptiveConfig
     from repro.adapt.reoptimizer import ReOptimizer
     from repro.adapt.stats import StatisticsStore
+    from repro.core.program.journal import ExchangeJournal
     from repro.net.faults import FaultPlan, RetryPolicy
     from repro.obs.drift import DriftReport
     from repro.services.agency import DiscoveryAgency, ExchangePlan
@@ -451,6 +452,7 @@ class ExchangeBroker:
                  parallel_workers: int = 1,
                  batch_rows: int | None = None,
                  columnar: bool = False,
+                 delta: bool = False,
                  retry_policy: "RetryPolicy | None" = None,
                  fault_plan: "FaultPlan | None" = None,
                  stats_store: "StatisticsStore | None" = None,
@@ -480,6 +482,11 @@ class ExchangeBroker:
         self.parallel_workers = parallel_workers
         self.batch_rows = batch_rows
         self.columnar = columnar
+        #: Broker-wide default for delta sessions.  Deliberately NOT a
+        #: plan knob: a delta run executes the same negotiated program
+        #: over a filtered feed, so full and delta sessions share one
+        #: cached plan.
+        self.delta = delta
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
         self.stats_store = stats_store
@@ -553,7 +560,10 @@ class ExchangeBroker:
                scenario: str | None = None,
                wait: bool = False,
                fault_plan: "FaultPlan | None" = None,
-               retry_policy: "RetryPolicy | None" = None
+               retry_policy: "RetryPolicy | None" = None,
+               delta: bool | None = None,
+               journal: "ExchangeJournal | None" = None,
+               since: int | None = None
                ) -> "Future[ExchangeSession]":
         """Admit one session and schedule it on the worker pool.
 
@@ -563,10 +573,16 @@ class ExchangeBroker:
         multi-user serving model).  Returns a future resolving to the
         session's :class:`ExchangeSession`.
 
-        ``fault_plan`` / ``retry_policy`` override the broker-wide
-        defaults for this session only — the scatter/gather
-        coordinator uses this to degrade a single shard's channel
-        while its siblings run clean.
+        ``fault_plan`` / ``retry_policy`` / ``delta`` override the
+        broker-wide defaults for this session only — the
+        scatter/gather coordinator uses this to degrade a single
+        shard's channel while its siblings run clean.  A delta session
+        reuses the cached plan of its full predecessor (delta is not
+        part of the plan fingerprint) and runs it through the delta
+        views; pass the exchange's ``journal`` so the session resolves
+        ``since`` from (and records its sync into) the right
+        high-water record, and note the ``target_factory`` must then
+        return the *same* target the previous sync wrote.
 
         Raises:
             BrokerError: if the broker is closed or the source system
@@ -595,6 +611,9 @@ class ExchangeBroker:
                 else self.fault_plan,
                 retry_policy if retry_policy is not None
                 else self.retry_policy,
+                self.delta if delta is None else delta,
+                journal,
+                since,
             )
         except BaseException:
             self._release()
@@ -618,7 +637,10 @@ class ExchangeBroker:
                      target_factory: Callable[[], SystemEndpoint],
                      scenario: str,
                      fault_plan: "FaultPlan | None" = None,
-                     retry_policy: "RetryPolicy | None" = None
+                     retry_policy: "RetryPolicy | None" = None,
+                     delta: bool = False,
+                     journal: "ExchangeJournal | None" = None,
+                     since: int | None = None
                      ) -> ExchangeSession:
         try:
             with self.tracer.span("broker session", "broker",
@@ -654,9 +676,12 @@ class ExchangeBroker:
                     columnar=self.columnar,
                     retry_policy=retry_policy,
                     fault_plan=fault_plan,
+                    journal=journal,
                     adaptive=self.adaptive,
                     tracer=self.tracer,
                     metrics=self.metrics,
+                    delta=delta,
+                    since=since,
                 )
                 self._learn(plan, source, outcome)
                 return ExchangeSession(

@@ -21,6 +21,7 @@ from repro.core.cost.model import (
     MachineProfile,
     operation_work,
 )
+from repro.core.delta import VersionLog
 from repro.core.fragment import Fragment
 from repro.core.fragmentation import Fragmentation
 from repro.core.instance import ElementData, FragmentInstance, FragmentRow
@@ -50,6 +51,9 @@ class SystemEndpoint(abc.ABC):
         self.name = name
         self.machine = machine or MachineProfile(name)
         self._statistics: StatisticsCatalog | None = None
+        #: Version log of the stored data; ``None`` until
+        #: :meth:`enable_versioning` arms delta exchange.
+        self.versions: VersionLog | None = None
         # Serializes whole-store access for endpoints without finer
         # locking; the parallel executor calls scan/write concurrently.
         self._store_lock = threading.RLock()
@@ -108,6 +112,117 @@ class SystemEndpoint(abc.ABC):
             (ColumnBatch.from_row_batch(batch)
              for batch in row_stream),
         )
+
+    # -- versioned mutation (delta exchange) --------------------------------
+
+    def stored_fragments(self) -> list[Fragment]:
+        """Fragments this endpoint currently stores (the mutation and
+        versioning surface iterates them; default: none known)."""
+        return []
+
+    def delete_rows(self, fragment: Fragment,
+                    eids: "set[int] | list[int]") -> int:
+        """Delete stored rows of ``fragment`` by root eid; returns how
+        many were removed.
+
+        Raises:
+            EndpointError: when the store cannot delete rows.
+        """
+        raise EndpointError(
+            f"endpoint {self.name!r} does not support row deletion"
+        )
+
+    def merge_rows(self, fragment: Fragment,
+                   rows: list[FragmentRow]) -> int:
+        """Upsert ``rows`` by eid: replace stored rows with matching
+        ids, append the rest.  The write discipline of a delta merge.
+
+        Raises:
+            EndpointError: when the store cannot merge rows.
+        """
+        raise EndpointError(
+            f"endpoint {self.name!r} does not support row merging"
+        )
+
+    def enable_versioning(self) -> VersionLog:
+        """Arm delta exchange: start a :class:`~repro.core.delta.
+        VersionLog` and stamp the current contents at version 1."""
+        with self._store_lock:
+            log = VersionLog()
+            log.bump()
+            for fragment in self.stored_fragments():
+                for row in self.scan(fragment).rows:
+                    log.stamp(fragment.name, row.eid)
+            self.versions = log
+            return log
+
+    def scan_versioned(self, fragment: Fragment) -> FragmentInstance:
+        """:meth:`scan`, with each row stamped with its stored version
+        (0 when versioning is not enabled)."""
+        instance = self.scan(fragment)
+        if self.versions is not None:
+            self.versions.stamp_rows(fragment.name, instance.rows)
+        return instance
+
+    def apply_changes(self, fragment: Fragment,
+                      upserts: "list | tuple" = (),
+                      deletes: "set[int] | list[int] | tuple" = ()
+                      ) -> int:
+        """Mutate the stored instance of ``fragment`` under one new
+        version: ``deletes`` removes rows by eid (cascading to rows in
+        other fragments whose PARENT pointed inside a removed row, each
+        tombstoned), ``upserts`` merges rows in and stamps them.
+        Returns the new version.
+
+        Raises:
+            EndpointError: if versioning is not enabled.
+        """
+        if self.versions is None:
+            raise EndpointError(
+                f"endpoint {self.name!r} has no version log; call "
+                "enable_versioning() before apply_changes()"
+            )
+        upsert_rows = list(upserts)
+        doomed = set(deletes)
+        with self._store_lock:
+            version = self.versions.bump()
+            if doomed:
+                self._delete_cascade(fragment, doomed, version)
+            if upsert_rows:
+                self.merge_rows(fragment, upsert_rows)
+                for row in upsert_rows:
+                    row.version = self.versions.stamp(
+                        fragment.name, row.eid, version
+                    )
+            return version
+
+    def _delete_cascade(self, fragment: Fragment, eids: set[int],
+                        version: int) -> None:
+        """Delete rows and, recursively, the rows of other fragments
+        anchored inside them (a deleted subtree takes its cross-
+        fragment children with it; every removed row is tombstoned)."""
+        assert self.versions is not None
+        removed = [
+            row for row in self.scan(fragment).rows if row.eid in eids
+        ]
+        gone_occurrences: set[int] = set()
+        for row in removed:
+            self.versions.record_delete(fragment.name, row, version)
+            gone_occurrences.update(
+                node.eid for node in row.data.iter_all()
+            )
+        self.delete_rows(fragment, {row.eid for row in removed})
+        if not gone_occurrences:
+            return
+        for other in self.stored_fragments():
+            if other.name == fragment.name:
+                continue
+            dependents = {
+                row.eid for row in self.scan(other).rows
+                if row.parent in gone_occurrences
+            }
+            if dependents:
+                self._delete_cascade(other, dependents, version)
 
     # -- statistics ----------------------------------------------------------
 
@@ -215,6 +330,24 @@ class RelationalEndpoint(SystemEndpoint):
             else:
                 self.mapper.load_rows(self.db, fragment, batch.rows)
 
+    def stored_fragments(self) -> list[Fragment]:
+        return list(self.fragmentation)
+
+    def delete_rows(self, fragment: Fragment,
+                    eids: "set[int] | list[int]") -> int:
+        return self.mapper.delete_rows(self.db, fragment, eids)
+
+    def merge_rows(self, fragment: Fragment,
+                   rows: list[FragmentRow]) -> int:
+        """Upsert into the fragment table: delete matching ids, then
+        bulk-load the replacement rows (the table scan's ``ORDER BY
+        parent, id`` restores feed order regardless of heap order)."""
+        self.mapper.delete_rows(
+            self.db, fragment, [row.eid for row in rows]
+        )
+        self.mapper.load_rows(self.db, fragment, rows)
+        return len(rows)
+
     def build_indexes(self) -> int:
         """Create/refresh the standard indexes (the separately timed
         step of Table 4); returns indexes built."""
@@ -293,6 +426,43 @@ class InMemoryEndpoint(SystemEndpoint):
         with self._store_lock:
             self.store[fragment.name] = instance
 
+    def stored_fragments(self) -> list[Fragment]:
+        with self._store_lock:
+            return [
+                instance.fragment for instance in self.store.values()
+            ]
+
+    def delete_rows(self, fragment: Fragment,
+                    eids: "set[int] | list[int]") -> int:
+        doomed = set(eids)
+        with self._store_lock:
+            stored = self.store.get(fragment.name)
+            if stored is None:
+                return 0
+            before = len(stored.rows)
+            stored.rows = [
+                row for row in stored.rows if row.eid not in doomed
+            ]
+            return before - len(stored.rows)
+
+    def merge_rows(self, fragment: Fragment,
+                   rows: list[FragmentRow]) -> int:
+        replaced = {row.eid for row in rows}
+        with self._store_lock:
+            stored = self.store.get(fragment.name)
+            if stored is None:
+                stored = self.store[fragment.name] = \
+                    FragmentInstance(fragment)
+            stored.rows = [
+                row for row in stored.rows
+                if row.eid not in replaced
+            ]
+            stored.rows.extend(rows)
+            # Keep the canonical sorted-feed order, so a delta-merged
+            # store reads back identical to a full rewrite.
+            stored.sort()
+            return len(rows)
+
 
 class DirectoryEndpoint(SystemEndpoint):
     """An endpoint backed by the LDAP-like directory (the motivating
@@ -357,6 +527,44 @@ class DirectoryEndpoint(SystemEndpoint):
         with self._store_lock:
             self._written[fragment.name] = instance
             self._materialized = False
+
+    def stored_fragments(self) -> list[Fragment]:
+        with self._store_lock:
+            return [
+                instance.fragment
+                for instance in self._written.values()
+            ]
+
+    def delete_rows(self, fragment: Fragment,
+                    eids: "set[int] | list[int]") -> int:
+        doomed = set(eids)
+        with self._store_lock:
+            stored = self._written.get(fragment.name)
+            if stored is None:
+                return 0
+            before = len(stored.rows)
+            stored.rows = [
+                row for row in stored.rows if row.eid not in doomed
+            ]
+            self._materialized = False
+            return before - len(stored.rows)
+
+    def merge_rows(self, fragment: Fragment,
+                   rows: list[FragmentRow]) -> int:
+        replaced = {row.eid for row in rows}
+        with self._store_lock:
+            stored = self._written.get(fragment.name)
+            if stored is None:
+                stored = self._written[fragment.name] = \
+                    FragmentInstance(fragment)
+            stored.rows = [
+                row for row in stored.rows
+                if row.eid not in replaced
+            ]
+            stored.rows.extend(rows)
+            stored.sort()
+            self._materialized = False
+            return len(rows)
 
     def materialize(self) -> DirectoryStore:
         """(Re)build the directory tree from every written fragment.

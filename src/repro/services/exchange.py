@@ -18,6 +18,12 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.errors import EndpointError
+from repro.core.delta import (
+    DeltaSourceView,
+    DeltaTargetView,
+    compute_delta,
+)
 from repro.core.program.dag import Placement, TransferProgram
 from repro.core.program.executor import ExecutionReport, ProgramExecutor
 from repro.core.program.journal import ExchangeJournal
@@ -38,6 +44,7 @@ from repro.services.endpoint import RelationalEndpoint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
     from repro.adapt.executor import AdaptiveConfig
+    from repro.services.endpoint import SystemEndpoint
 
 #: Step keys, in Figure 9 stacking order (bottom to top).
 STEPS = (
@@ -96,6 +103,18 @@ class ExchangeOutcome:
     #: (0 on static runs) and how many operations they moved.
     replans: int = 0
     ops_moved: int = 0
+    #: Delta-exchange accounting (all zero/False on full runs): the
+    #: version window ``(delta_since, delta_high]`` this run covered,
+    #: how many source rows had changed in it, how many the closure
+    #: actually shipped (out of ``delta_total_rows`` stored), and how
+    #: many target rows were tombstone-deleted.
+    delta: bool = False
+    delta_since: int = 0
+    delta_high: int = 0
+    delta_changed_rows: int = 0
+    delta_shipped_rows: int = 0
+    delta_total_rows: int = 0
+    delta_deleted_rows: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -137,6 +156,8 @@ def run_optimized_exchange(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     reset_channel: bool = True,
+    delta: bool = False,
+    since: int | None = None,
 ) -> ExchangeOutcome:
     """Run the optimized data exchange (Section 5.2 steps 1–5).
 
@@ -172,6 +193,21 @@ def run_optimized_exchange(
     runs do not compose with ``journal`` (resume bookkeeping assumes
     the placement it recorded is the placement that finishes the run).
 
+    ``delta=True`` runs an *incremental* exchange: the source must have
+    versioning enabled (:meth:`~repro.services.endpoint.SystemEndpoint.
+    enable_versioning`), changed rows since ``since`` (default: the
+    journal's last completed sync, else 0 — everything) are computed
+    via :func:`~repro.core.delta.compute_delta`, the program runs over
+    the filtered feed through :class:`~repro.core.delta.
+    DeltaSourceView`, and the target merges by eid through
+    :class:`~repro.core.delta.DeltaTargetView` (tombstoned target rows
+    are deleted first).  The merged target is byte-identical to a full
+    re-exchange on every dataplane; only the changed subset crosses
+    the wire.  A completed run records the covered high-water version
+    in the ``journal`` (``sync`` event), so the next delta resumes
+    where this one *finished* — a killed run never advances it.  Delta
+    does not compose with ``adaptive``.
+
     ``reset_channel=False`` leaves the channel's running totals alone
     and attributes only this run's delta window to the outcome —
     required when the channel is not exclusively this run's (resetting
@@ -188,6 +224,11 @@ def run_optimized_exchange(
             "adaptive execution does not compose with journaled "
             "resume; run one or the other"
         )
+    if delta and adaptive is not None:
+        raise ValueError(
+            "delta exchange does not compose with adaptive "
+            "re-placement; run one or the other"
+        )
     tracer = tracer or NULL_TRACER
     outcome = ExchangeOutcome(
         scenario, "DE", parallel_workers=parallel_workers,
@@ -197,6 +238,65 @@ def run_optimized_exchange(
         channel.reset()
     comm_seconds_start = channel.total_seconds
     comm_bytes_start = channel.total_bytes
+    exec_source: "SystemEndpoint | DeltaSourceView" = source
+    exec_target: "SystemEndpoint | DeltaTargetView" = target
+    sync_version: int | None = None
+    if delta:
+        versions = source.versions
+        if versions is None:
+            raise EndpointError(
+                f"endpoint {source.name!r} has no version log; call "
+                "enable_versioning() before a delta exchange"
+            )
+        resolved_since = since
+        if resolved_since is None:
+            resolved_since = (
+                journal.last_sync_version()
+                if journal is not None else 0
+            )
+        sync_version = versions.current
+        delta_started = time.perf_counter()
+        with tracer.span("compute delta", "step", scenario=scenario,
+                         since=resolved_since, high=sync_version):
+            delta_set = compute_delta(
+                source,
+                [op.fragment for op in program.scans()],
+                [op.fragment for op in program.writes()],
+                resolved_since,
+            )
+        delta_seconds = time.perf_counter() - delta_started
+        outcome.steps["source_processing"] += delta_seconds
+        deleted = 0
+        for op in program.writes():
+            doomed = delta_set.deletes.get(op.fragment.name)
+            if doomed:
+                deleted += target.delete_rows(op.fragment, doomed)
+        outcome.delta = True
+        outcome.delta_since = resolved_since
+        outcome.delta_high = sync_version
+        outcome.delta_changed_rows = delta_set.changed_rows
+        outcome.delta_shipped_rows = delta_set.shipped_rows
+        outcome.delta_total_rows = delta_set.total_rows
+        outcome.delta_deleted_rows = deleted
+        if metrics is not None:
+            metrics.counter("delta.runs").add(1)
+            metrics.counter("delta.changed_rows").add(
+                delta_set.changed_rows
+            )
+            metrics.counter("delta.shipped_rows").add(
+                delta_set.shipped_rows
+            )
+            metrics.counter("delta.deleted_rows").add(deleted)
+            metrics.counter("delta.skipped_rows").add(
+                delta_set.total_rows - delta_set.shipped_rows
+            )
+        exec_source = DeltaSourceView(source, delta_set)
+        exec_target = DeltaTargetView(target, delta_set)
+    elif journal is not None and source.versions is not None:
+        # A journaled *full* run over a versioned source is a sync
+        # point too: record its high-water so a later delta run ships
+        # only what changed after it.
+        sync_version = source.versions.current
     wire = (
         FaultyChannel(channel, fault_plan, tracer=tracer)
         if fault_plan is not None else channel
@@ -221,7 +321,8 @@ def run_optimized_exchange(
         if parallel_workers > 1:
             executor: ProgramExecutor | ParallelProgramExecutor = \
                 ParallelProgramExecutor(
-                    source, target, wire, workers=parallel_workers,
+                    exec_source, exec_target, wire,
+                    workers=parallel_workers,
                     batch_rows=batch_rows,
                     retry=retry_policy, journal=journal,
                     tracer=tracer, metrics=metrics,
@@ -229,7 +330,7 @@ def run_optimized_exchange(
                 )
         else:
             executor = ProgramExecutor(
-                source, target, wire, batch_rows=batch_rows,
+                exec_source, exec_target, wire, batch_rows=batch_rows,
                 retry=retry_policy, journal=journal,
                 tracer=tracer, metrics=metrics,
                 columnar=columnar, join_strategy=join_strategy,
@@ -265,6 +366,11 @@ def run_optimized_exchange(
                   indexes=outcome.indexes_built)
     outcome.comm_bytes = channel.total_bytes - comm_bytes_start
     outcome.rows_written = report.rows_written
+    if journal is not None and sync_version is not None:
+        # Only reached on success: a killed run records no sync, so
+        # the next delta re-covers everything since the last one that
+        # actually finished.
+        journal.record_sync(sync_version)
     return outcome
 
 

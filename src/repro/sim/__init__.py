@@ -10,6 +10,7 @@ machine speeds, random fragmentations) that the two-PC testbed cannot.
 from repro.sim.random_fragmentation import random_fragmentation
 from repro.sim.simulator import (
     AmortizedPlanCosts,
+    DeltaCostEstimate,
     ExchangeSimulator,
     GreedyQualityTrial,
     SimulatedCosts,
@@ -21,4 +22,5 @@ __all__ = [
     "SimulatedCosts",
     "GreedyQualityTrial",
     "AmortizedPlanCosts",
+    "DeltaCostEstimate",
 ]

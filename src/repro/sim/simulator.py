@@ -155,6 +155,41 @@ class AdaptiveCostEstimate:
 
 
 @dataclass(slots=True)
+class DeltaCostEstimate:
+    """Predicted cost of one incremental delta re-exchange at a given
+    change rate, against re-running the exchange from scratch.
+
+    A delta run cannot skip change detection: ``compute_delta`` scans
+    every source row to rebuild the occurrence maps, so the scan-side
+    computation is a fixed floor (``detect_cost``).  Everything
+    downstream of the scans — shipping, splits, combines, writes —
+    scales with the fraction of rows that actually changed, inflated
+    by ``amplification`` when the contribution closure drags unchanged
+    rows along (mutating a spine row re-ships its whole subtree)."""
+
+    #: Fraction of source rows changed since the last sync, in [0, 1].
+    change_rate: float
+    #: One full re-exchange, formula-1 units.
+    full_cost: float
+    #: Fixed change-detection floor (the full source scan).
+    detect_cost: float
+    #: Predicted cost of the delta run at this change rate.
+    delta_cost: float
+
+    @property
+    def relative_cost(self) -> float:
+        """Delta over full (< 1 means the delta run wins)."""
+        if self.full_cost == 0.0:
+            return 1.0
+        return self.delta_cost / self.full_cost
+
+    @property
+    def savings_percent(self) -> float:
+        """Percentage saved by syncing incrementally."""
+        return 100.0 * (1.0 - self.relative_cost)
+
+
+@dataclass(slots=True)
 class ShardedCostEstimate:
     """Predicted cost of scattering one exchange over K shards.
 
@@ -592,6 +627,78 @@ class ExchangeSimulator:
             cold_total=n_exchanges * (per_exchange + optimizer_seconds),
             warm_total=n_exchanges * per_exchange + optimizer_seconds,
         )
+
+    # -- incremental delta sync ----------------------------------------------------
+
+    def delta_exchange_costs(
+            self, source_fragmentation: Fragmentation,
+            target_fragmentation: Fragmentation,
+            source: MachineProfile, target: MachineProfile,
+            change_rates: "list[float] | tuple[float, ...]",
+            order_limit: int | None = 200,
+            amplification: float = 1.0) -> list[DeltaCostEstimate]:
+        """Price incremental delta syncs over a change-rate sweep.
+
+        For each rate ``r`` in ``change_rates``, predicts what a delta
+        re-exchange costs when ``r`` of the source rows changed since
+        the last sync.  The full exchange is optimized and priced once
+        (Algorithm 1 placement over combine orders); a delta run then
+        pays:
+
+        * the **detection floor** — the scan-side computation in full,
+          because :func:`~repro.core.delta.compute_delta` reads every
+          source row to rebuild the occurrence maps before it can tell
+          changed from unchanged;
+        * ``min(1, r * amplification)`` of **everything else** —
+          shipping, splits, combines and writes all scale with the
+          rows that travel.  ``amplification`` (>= 1) models the
+          contribution closure dragging unchanged rows along so no
+          dataplane sees a combine orphan: 1.0 is the fine-grained
+          best case (each changed row is its own island); coarse
+          spine mutations push it well above 1.
+
+        Raises ``ValueError`` on a rate outside [0, 1] or
+        ``amplification < 1``.
+        """
+        if amplification < 1.0:
+            raise ValueError(
+                f"amplification must be >= 1, got {amplification}"
+            )
+        for rate in change_rates:
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"change rates must be in [0, 1], got {rate}"
+                )
+        model = self.model(source, target)
+        mapping = derive_mapping(
+            source_fragmentation, target_fragmentation
+        )
+        with self.tracer.span("optimize exchange", "sim",
+                              order_limit=order_limit or 0):
+            best = optimal_exchange(
+                mapping, model, self.weights, order_limit
+            )
+        with self.tracer.span("price exchange", "sim"):
+            breakdown = model.breakdown(best.program, best.placement)
+        full = breakdown.total
+        detect = sum(
+            self.weights.computation * model.comp_cost(
+                node, best.placement[node.op_id], "row"
+            )
+            for node in best.program.scans()
+        )
+        variable = max(0.0, full - detect)
+        return [
+            DeltaCostEstimate(
+                change_rate=rate,
+                full_cost=full,
+                detect_cost=detect,
+                delta_cost=detect + variable * min(
+                    1.0, rate * amplification
+                ),
+            )
+            for rate in change_rates
+        ]
 
     # -- Table 5 ------------------------------------------------------------------
 

@@ -179,6 +179,24 @@ class TestInstanceViews:
             (1, 3), (1, 4), (2, 5),
         ]
 
+    def test_sort_null_parents_precede_eid_zero_parent(
+            self, customers_schema):
+        # Regression: keying the sort on ``row.parent or 0`` collapsed
+        # PARENT=None with PARENT=0, so root rows interleaved with the
+        # children of a real eid-0 parent instead of leading the feed
+        # (SQL sorts NULLs first).
+        fragment = Fragment(customers_schema, ["Order"])
+        instance = FragmentInstance(fragment, [
+            FragmentRow(ElementData("Order", 2), 0),
+            FragmentRow(ElementData("Order", 9), None),
+            FragmentRow(ElementData("Order", 1), 0),
+            FragmentRow(ElementData("Order", 8), None),
+        ])
+        instance.sort()
+        assert [(row.parent, row.eid) for row in instance] == [
+            (None, 8), (None, 9), (0, 1), (0, 2),
+        ]
+
     def test_to_xml_documents_one_per_row(self, customers_s,
                                           customer_documents):
         feeds = fragment_customers(customer_documents, customers_s)

@@ -55,11 +55,26 @@ class TestDeriveMapping:
         with pytest.raises(MappingError):
             mapping.entry_for("Nope")
 
-    def test_different_schemas_rejected(self, customers_s):
-        other_schema = customer_schema()  # a distinct tree object
-        other = t_fragmentation(other_schema)
+    def test_different_schemas_rejected(self, customers_s,
+                                        auction_lf):
         with pytest.raises(MappingError):
-            derive_mapping(customers_s, other)
+            derive_mapping(customers_s, auction_lf)
+
+    def test_reparsed_schema_accepted(self, customers_s, customers_t):
+        # Remote systems re-parse the agreed schema document, so the
+        # target fragmentation arrives over a distinct but structurally
+        # identical SchemaTree.  derive_mapping must treat it as the
+        # same schema (fingerprint match), like DiscoveryAgency does.
+        reparsed_schema = customer_schema()  # a distinct tree object
+        assert reparsed_schema is not customers_s.schema
+        reparsed = t_fragmentation(reparsed_schema)
+        mapping = derive_mapping(customers_s, reparsed)
+        same_tree = derive_mapping(customers_s, customers_t)
+        assert {entry.target.name for entry in mapping.entries} == {
+            entry.target.name for entry in same_tree.entries
+        }
+        assert mapping.split_requirements() == \
+            same_tree.split_requirements()
 
     def test_whole_document_to_t_is_pure_split(self, customers_schema,
                                                customers_t):

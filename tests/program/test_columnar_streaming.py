@@ -344,6 +344,31 @@ class TestOrphanAccounting:
             ))
         assert str(streaming.value) == str(columnar.value)
 
+    def test_null_parent_distinct_from_negative_eid(
+            self, customers_schema):
+        # Regression: the columnar build side normalized PARENT=None to
+        # a -1 sentinel, so a NULL-parent orphan was indistinguishable
+        # from (and collided with) an orphan referencing a real eid -1.
+        combine, order, service = _service_combine(customers_schema)
+        parents = [_order_row(10, 1)]
+        children = [
+            _service_row(100, 10),
+            _service_row(110, None),
+            _service_row(120, -1),
+        ]
+        with pytest.raises(OperationError) as columnar:
+            TestJoinUnit._run(
+                combine, order, service, parents, children
+            )
+        message = str(columnar.value)
+        assert "None" in message and "-1" in message
+        with pytest.raises(OperationError) as materialized:
+            combine.apply(
+                FragmentInstance(order, parents).copy(),
+                FragmentInstance(service, children).copy(),
+            )
+        assert message == str(materialized.value)
+
     def test_many_orphans_truncate(self, customers_schema):
         combine, order, service = _service_combine(customers_schema)
         parents = [_order_row(10, 1)]

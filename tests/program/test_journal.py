@@ -82,6 +82,91 @@ class TestExchangeJournal:
         assert write_key(4, "Order") == "4:Order"
 
 
+class TestTornJournal:
+    """A record torn mid-write by a kill must not poison the resume —
+    that crash is exactly what the journal exists to survive."""
+
+    def test_torn_final_line_is_tolerated_and_truncated(
+            self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with ExchangeJournal(path) as journal:
+            journal.begin_run()
+            journal.ack_batch("0:F", 0)
+            journal.ack_write("1:G")
+        good = path.read_text()
+        path.write_text(good + '{"event": "batch", "wri')
+        with ExchangeJournal(path) as resumed:
+            assert resumed.acked_through("0:F") == 0
+            assert resumed.write_done("1:G")
+            assert resumed.begin_run() == 1
+        # The torn tail was truncated before appending resumed, so a
+        # third open parses every line cleanly.
+        with ExchangeJournal(path) as third:
+            assert third.resume_count == 1
+        assert all(
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        )
+
+    def test_garbage_only_journal_starts_fresh(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"event": "ru')
+        with ExchangeJournal(path) as journal:
+            assert journal.begin_run() == 0
+            assert journal.last_sync_version() == 0
+
+
+class TestSyncHighWater:
+    """The delta high-water record: advanced only by completed runs,
+    and it closes the run's acknowledgement slate."""
+
+    def test_sync_version_monotone(self):
+        journal = ExchangeJournal()
+        assert journal.last_sync_version() == 0
+        journal.record_sync(4)
+        journal.record_sync(2)  # stale sync never regresses the mark
+        assert journal.last_sync_version() == 4
+
+    def test_sync_clears_acknowledgements(self):
+        journal = ExchangeJournal()
+        journal.begin_run()
+        journal.ack_batch("0:F", 3)
+        journal.ack_write("1:G")
+        journal.record_sync(7)
+        # The next exchange through this journal starts clean: stale
+        # acks from the completed run must not skip its writes.
+        assert journal.acked_through("0:F") == -1
+        assert not journal.write_done("1:G")
+        assert journal.begin_run() == 0
+
+    def test_sync_survives_reopen_and_clears_on_load(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with ExchangeJournal(path) as journal:
+            journal.begin_run()
+            journal.ack_write("1:G")
+            journal.record_sync(5)
+            journal.begin_run()
+            journal.ack_batch("0:F", 2)
+        with ExchangeJournal(path) as resumed:
+            assert resumed.last_sync_version() == 5
+            # Acks before the sync are gone; the unfinished run after
+            # it is still resumable.
+            assert not resumed.write_done("1:G")
+            assert resumed.acked_through("0:F") == 2
+            assert resumed.begin_run() == 1
+
+    def test_torn_sync_record_does_not_advance(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with ExchangeJournal(path) as journal:
+            journal.begin_run()
+            journal.ack_write("1:G")
+        good = path.read_text()
+        path.write_text(good + '{"event": "sync", "versi')
+        with ExchangeJournal(path) as resumed:
+            assert resumed.last_sync_version() == 0
+            assert resumed.write_done("1:G")
+
+
 class TestJournalledExecutors:
     """A journalled rerun skips acknowledged writes entirely."""
 

@@ -316,3 +316,65 @@ class TestShardedExchangeCosts:
             simulator.sharded_exchange_costs(
                 mf, lf, MachineProfile("s"), MachineProfile("t"), 0
             )
+
+
+class TestDeltaExchangeCosts:
+    """Incremental sync pricing: a fixed detection floor plus a
+    change-rate-proportional variable part."""
+
+    def test_sweep_is_monotone_and_bounded(self, simulator,
+                                           fragmentations):
+        source_fragmentation, target_fragmentation = fragmentations
+        rates = [0.0, 0.01, 0.1, 0.5, 1.0]
+        estimates = simulator.delta_exchange_costs(
+            source_fragmentation, target_fragmentation,
+            MachineProfile("s"), MachineProfile("t"),
+            rates, order_limit=40,
+        )
+        assert [e.change_rate for e in estimates] == rates
+        deltas = [e.delta_cost for e in estimates]
+        assert deltas == sorted(deltas)
+        # Nothing changed: only the detection scan is paid.
+        assert estimates[0].delta_cost \
+            == pytest.approx(estimates[0].detect_cost)
+        # Everything changed: the delta run degenerates to a full one.
+        assert estimates[-1].delta_cost \
+            == pytest.approx(estimates[-1].full_cost)
+        for estimate in estimates:
+            assert 0.0 < estimate.relative_cost <= 1.0 + 1e-9
+            assert estimate.savings_percent \
+                == pytest.approx(100 * (1 - estimate.relative_cost))
+
+    def test_amplification_inflates_the_variable_part(
+            self, simulator, fragmentations):
+        source_fragmentation, target_fragmentation = fragmentations
+        machines = (MachineProfile("s"), MachineProfile("t"))
+        plain = simulator.delta_exchange_costs(
+            source_fragmentation, target_fragmentation, *machines,
+            [0.1], order_limit=40,
+        )[0]
+        inflated = simulator.delta_exchange_costs(
+            source_fragmentation, target_fragmentation, *machines,
+            [0.1], order_limit=40, amplification=4.0,
+        )[0]
+        assert inflated.delta_cost > plain.delta_cost
+        # The closure can never cost more than shipping everything.
+        capped = simulator.delta_exchange_costs(
+            source_fragmentation, target_fragmentation, *machines,
+            [0.5], order_limit=40, amplification=100.0,
+        )[0]
+        assert capped.delta_cost == pytest.approx(capped.full_cost)
+
+    def test_bad_inputs_rejected(self, simulator, fragmentations):
+        source_fragmentation, target_fragmentation = fragmentations
+        machines = (MachineProfile("s"), MachineProfile("t"))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            simulator.delta_exchange_costs(
+                source_fragmentation, target_fragmentation,
+                *machines, [1.5], order_limit=40,
+            )
+        with pytest.raises(ValueError, match="amplification"):
+            simulator.delta_exchange_costs(
+                source_fragmentation, target_fragmentation,
+                *machines, [0.1], order_limit=40, amplification=0.5,
+            )

@@ -285,6 +285,38 @@ class TestServiceTier:
             main(["exchange", "MF", "LF", "--shards", "2",
                   "--drift"], io.StringIO())
 
+    def test_delta_exchange(self):
+        output = run_cli(
+            "exchange", "LF", "MF", "--delta",
+            "--size", "1.0", "--scale", "0.02",
+        )
+        assert "delta re-exchange LF->MF" in output
+        assert "delta/full communication:" in output
+        assert "byte-identity vs full re-exchange: OK" in output
+
+    def test_delta_exchange_columnar(self):
+        output = run_cli(
+            "exchange", "MF", "LF", "--delta", "--columnar",
+            "--change-rate", "0.05",
+            "--size", "1.0", "--scale", "0.02",
+        )
+        assert "change rate 0.05" in output
+        assert "byte-identity vs full re-exchange: OK" in output
+
+    def test_delta_rejects_bad_combinations(self):
+        with pytest.raises(SystemExit):
+            main(["exchange", "MF", "LF", "--delta",
+                  "--sessions", "2"], io.StringIO())
+        with pytest.raises(SystemExit):
+            main(["exchange", "MF", "LF", "--delta",
+                  "--adaptive"], io.StringIO())
+        with pytest.raises(SystemExit):
+            main(["exchange", "MF", "LF", "--delta",
+                  "--change-rate", "0"], io.StringIO())
+        with pytest.raises(SystemExit):
+            main(["exchange", "MF", "LF", "--delta",
+                  "--since", "-1"], io.StringIO())
+
     def test_serve_smoke(self):
         output = run_cli(
             "serve", "--http-port", "0", "--feed-port", "0",
